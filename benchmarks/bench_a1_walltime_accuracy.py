@@ -1,0 +1,12 @@
+"""Bench A1: regenerate the walltime-accuracy ablation."""
+
+
+def test_a1_walltime_accuracy(regenerate):
+    output = regenerate("A1")
+    pads = list(output.data)
+    utils = [output.data[p]["utilization"] for p in pads]
+    waits = [output.data[p]["small_median_wait_h"] for p in pads]
+    # The Mu'alem–Feitelson paradox: utilization is flat and small-job waits
+    # do not grow (they typically shrink) as requests get looser.
+    assert max(utils) - min(utils) < 0.05
+    assert waits[-1] <= waits[0] + 0.25

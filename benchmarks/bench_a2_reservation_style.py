@@ -1,0 +1,11 @@
+"""Bench A2: regenerate the reservation-style ablation."""
+
+
+def test_a2_reservation_style(regenerate):
+    output = regenerate("A2")
+    for outcome in output.data.values():
+        reactive = outcome["reactive"]["utilization"]
+        sticky = outcome["sticky"]["utilization"]
+        # Reactive shadows dominate sticky ones by a clear margin at
+        # every walltime-accuracy level.
+        assert reactive - sticky > 0.02

@@ -1,0 +1,17 @@
+"""Bench A3: regenerate the checkpointing ablation."""
+
+
+def test_a3_checkpointing(regenerate):
+    output = regenerate("A3")
+    mtbfs = sorted(output.data)
+    restart_waste = [output.data[m]["restart"]["waste_ratio"] for m in mtbfs]
+    checkpoint_waste = [
+        output.data[m]["checkpoint"]["waste_ratio"] for m in mtbfs
+    ]
+    # Waste falls as machines get more reliable...
+    assert restart_waste == sorted(restart_waste, reverse=True)
+    # ...and checkpointing beats restart-from-scratch at every MTBF.
+    for restart, checkpointed in zip(restart_waste, checkpoint_waste):
+        assert checkpointed < restart
+    # At the flakiest setting the gap is large.
+    assert restart_waste[0] > 5 * checkpoint_waste[0]

@@ -1,0 +1,20 @@
+"""Bench F2: regenerate the job-size CCDF figure."""
+
+from repro.core.modalities import Modality
+
+
+def ccdf_at(series, size):
+    return dict(series).get(float(size), 0.0)
+
+
+def test_f2_jobsize(regenerate):
+    output = regenerate("F2")
+    ccdf = output.data["ccdf"]
+    # Gateway/exploratory jobs are small; coupled jobs are the largest.
+    assert ccdf_at(ccdf[Modality.GATEWAY.value], 64) < 0.05
+    assert ccdf_at(ccdf[Modality.EXPLORATORY.value], 64) < 0.10
+    assert ccdf_at(ccdf[Modality.COUPLED.value], 64) > 0.5
+    # Batch has a heavier large-size tail than exploratory.
+    assert ccdf_at(ccdf[Modality.BATCH.value], 128) > ccdf_at(
+        ccdf[Modality.EXPLORATORY.value], 128
+    )

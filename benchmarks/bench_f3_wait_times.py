@@ -1,0 +1,11 @@
+"""Bench F3: regenerate the FCFS-vs-EASY wait-time comparison."""
+
+
+def test_f3_wait_times(regenerate):
+    output = regenerate("F3", days=14.0)
+    small = "small (<=8 cores)"
+    fcfs = output.data["FCFS"][small]
+    easy = output.data["EASY"][small]
+    # Backfilling slashes small-job waits and raises utilization.
+    assert easy["median_h"] < fcfs["median_h"] / 3
+    assert output.data["utilization"]["EASY"] > output.data["utilization"]["FCFS"]

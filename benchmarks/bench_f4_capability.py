@@ -1,0 +1,13 @@
+"""Bench F4: regenerate the capability-policy comparison sweep."""
+
+
+def test_f4_capability(regenerate):
+    output = regenerate("F4")
+    # At low hero demand the reactive policy holds its own...
+    low = output.data[1]
+    assert low["easy"]["utilization"] >= low["drain"]["utilization"] - 0.02
+    # ...and the weekly drain wins once hero demand is high (the crossover).
+    crossover = output.data["crossover_per_week"]
+    assert crossover is not None and crossover <= 6
+    high = output.data[6]
+    assert high["drain"]["utilization"] > high["easy"]["utilization"]

@@ -1,0 +1,24 @@
+"""Bench F5: regenerate the resource-selection comparison."""
+
+from repro.infra.units import MINUTE
+
+
+def test_f5_metascheduling(regenerate):
+    output = regenerate("F5", days=7.0)
+    strategies = output.data["strategies"]
+    # Informed selection beats uninformed selection.
+    assert (
+        strategies["predicted_start"]["mean_wait_min"]
+        < strategies["random"]["mean_wait_min"]
+    )
+    assert (
+        strategies["least_loaded"]["mean_wait_min"]
+        < strategies["round_robin"]["mean_wait_min"]
+    )
+    # Staleness degrades the informed strategy monotonically at the extremes.
+    staleness = output.data["staleness"]
+    intervals = sorted(staleness)
+    assert (
+        staleness[intervals[0]]["mean_wait_min"]
+        < staleness[intervals[-1]]["mean_wait_min"]
+    )

@@ -1,0 +1,14 @@
+"""Bench F6: regenerate the attribute-coverage ablation."""
+
+
+def test_f6_attribute_coverage(regenerate):
+    output = regenerate("F6", days=20.0)
+    coverages = sorted(k for k in output.data)
+    identified = [output.data[c]["identified"] for c in coverages]
+    true = output.data[coverages[-1]]["true"]
+    # Identified end users grow monotonically with coverage, from zero to all.
+    assert identified[0] == 0
+    assert identified == sorted(identified)
+    assert identified[-1] == true
+    # Remainder community accounts vanish at full coverage.
+    assert output.data[coverages[-1]]["remainder_accounts"] == 0

@@ -1,0 +1,17 @@
+"""Bench F7: regenerate workflow scaling and co-allocation overhead."""
+
+import pytest
+
+
+def test_f7_workflows(regenerate):
+    output = regenerate("F7")
+    sweep = dict(output.data["sweep"])
+    # Sub-linear while the machine has room (staging adds only seconds),
+    # then a saturation knee.
+    assert sweep[8.0] == pytest.approx(sweep[4.0], rel=0.02)
+    assert sweep[16.0] == pytest.approx(sweep[4.0], rel=0.02)
+    assert sweep[64.0] > 1.5 * sweep[16.0]
+    coupled = output.data["coupled"]
+    # Coupled runtime pays roughly the WAN overhead factor.
+    assert 1.15 < coupled["runtime_slowdown"] < 1.4
+    assert coupled["synchronized"]

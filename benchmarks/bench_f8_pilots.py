@@ -1,0 +1,19 @@
+"""Bench F8: regenerate the pilot-job measurement-gap table."""
+
+
+def test_f8_pilots(regenerate):
+    output = regenerate("F8")
+    direct = output.data["direct"]
+    untagged = output.data["pilot_untagged"]
+    tagged = output.data["pilot_tagged"]
+    # The measurement flip (the reproduction target): W records collapse to
+    # one, and the ensemble user reads as a batch user until the pilot
+    # forwards the ensemble attribute.
+    assert direct["records_seen"] > 100
+    assert untagged["records_seen"] == 1
+    assert tagged["records_seen"] == 1
+    assert direct["measured_modality"] == "ensemble"
+    assert untagged["measured_modality"] == "batch"
+    assert tagged["measured_modality"] == "ensemble"
+    # The pilot ran the whole ensemble inside its placeholder.
+    assert untagged["tasks_completed"] == 160

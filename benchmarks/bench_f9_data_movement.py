@@ -1,0 +1,16 @@
+"""Bench F9: regenerate the data-movement-by-modality table."""
+
+
+def test_f9_data_movement(regenerate):
+    output = regenerate("F9")
+    batch = output.data["batch"]
+    ensemble = output.data["ensemble"]
+    coupled = output.data["coupled"]
+    # Batch dominates volume; ensemble dominates transfer count.
+    assert batch["bytes"] > 0.5 * output.data["total_bytes"]
+    assert ensemble["transfers"] > batch["transfers"]
+    # Coupled runs move data on every launch (inputs to each part).
+    assert coupled["transfers"] > 0
+    # Portal/porting/viz users do not move data over the WAN.
+    for quiet in ("gateway", "exploratory", "viz"):
+        assert output.data[quiet]["transfers"] == 0

@@ -1,0 +1,11 @@
+"""Bench R1: regenerate the seed-sensitivity table."""
+
+
+def test_r1_replicates(regenerate):
+    output = regenerate("R1")
+    # The dominance ordering holds in every replicate...
+    assert output.data["orderings_ok"] == output.data["n_seeds"]
+    # ...and the headline counts are stable to a few users.
+    for modality in ("batch", "exploratory", "gateway", "ensemble"):
+        stats = output.data[modality]
+        assert stats["max"] - stats["min"] <= max(4, 0.25 * stats["mean"])

@@ -1,0 +1,19 @@
+"""Bench T1: regenerate the users-per-modality headline table."""
+
+from repro.core.modalities import MODALITY_ORDER, Modality
+
+
+def test_t1_users_by_modality(regenerate):
+    output = regenerate("T1")
+    true = output.data["true"]
+    instrumented = output.data["instrumented"]
+    uninstrumented = output.data["uninstrumented"]
+    # Paper shape: BATCH > EXPLORATORY > GATEWAY > ENSEMBLE >> VIZ > COUPLED.
+    order = [m.value for m in MODALITY_ORDER]
+    counts = [true[name] for name in order]
+    assert counts == sorted(counts, reverse=True)
+    # Instrumented measurement tracks truth closely.
+    for name in order:
+        assert abs(instrumented[name] - true[name]) <= max(1, 0.25 * true[name])
+    # Without attributes, gateway users collapse to community accounts.
+    assert uninstrumented[Modality.GATEWAY.value] < true[Modality.GATEWAY.value] / 3

@@ -1,0 +1,14 @@
+"""Bench T2: regenerate the jobs/NUs-per-modality table."""
+
+from repro.core.modalities import Modality
+
+
+def test_t2_usage_by_modality(regenerate):
+    output = regenerate("T2")
+    nu_share = output.data["nu_share"]
+    jobs = output.data["jobs"]
+    # Batch dominates charged usage; exploratory dominates job count.
+    assert nu_share[Modality.BATCH.value] > 0.5
+    assert jobs[Modality.EXPLORATORY.value] > jobs[Modality.BATCH.value]
+    # Gateways burn almost no NUs despite many jobs.
+    assert nu_share[Modality.GATEWAY.value] < 0.05

@@ -1,0 +1,18 @@
+"""Bench T3: regenerate the measurement-accuracy table."""
+
+from repro.core.modalities import Modality
+
+
+def test_t3_classifier_accuracy(regenerate):
+    output = regenerate("T3")
+    assert output.data["instrumented_accuracy"] > 0.95
+    assert output.data["heuristic_accuracy"] > 0.7
+    # The instrumentation's value concentrates in the gateway user count.
+    heuristic_gateway_error = output.data["heuristic_user_error"][
+        Modality.GATEWAY.value
+    ]
+    instrumented_gateway_error = output.data["instrumented_user_error"][
+        Modality.GATEWAY.value
+    ]
+    assert heuristic_gateway_error < -0.5
+    assert abs(instrumented_gateway_error) < 0.1

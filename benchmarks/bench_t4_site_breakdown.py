@@ -1,0 +1,14 @@
+"""Bench T4: regenerate the per-site modality breakdown."""
+
+from repro.core.modalities import Modality
+
+
+def test_t4_site_breakdown(regenerate):
+    output = regenerate("T4")
+    sites = output.data
+    assert len(sites) >= 3
+    for site, split in sites.items():
+        total = sum(split.values())
+        assert total > 0
+        # Every site is batch-dominated.
+        assert split[Modality.BATCH.value] / total > 0.5

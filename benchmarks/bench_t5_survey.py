@@ -1,0 +1,16 @@
+"""Bench T5: regenerate the survey-vs-accounting comparison."""
+
+from repro.core.modalities import Modality
+
+
+def test_t5_survey(regenerate):
+    output = regenerate("T5")
+    survey = output.data["survey_shares"]
+    true = output.data["true_shares"]
+    measured = output.data["measured_shares"]
+    # Survey over-reports batch and essentially misses gateway users.
+    assert survey[Modality.BATCH.value] > true[Modality.BATCH.value]
+    assert survey[Modality.GATEWAY.value] < true[Modality.GATEWAY.value] / 2
+    # Accounting measurement tracks truth.
+    for name, share in true.items():
+        assert abs(measured[name] - share) < 0.1

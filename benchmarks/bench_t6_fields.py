@@ -1,0 +1,18 @@
+"""Bench T6: regenerate the field-of-science usage table."""
+
+
+def test_t6_fields(regenerate):
+    output = regenerate("T6")
+    fields = output.data
+    # Several disciplines appear, none unassigned.
+    assert len(fields) >= 5
+    assert "(unassigned)" not in fields
+    # The heavy-usage fields lead.
+    ranked = sorted(fields, key=lambda f: -fields[f]["nu"])
+    assert ranked[0] in {
+        "Molecular Biosciences",
+        "Physics",
+        "Astronomical Sciences",
+        "Chemistry",
+        "Materials Research",
+    }

@@ -1,0 +1,13 @@
+"""Bench T7: regenerate the per-gateway community report."""
+
+
+def test_t7_gateways(regenerate):
+    output = regenerate("T7")
+    gateways = output.data
+    assert len(gateways) >= 2
+    users = sorted((g["end_users"] for g in gateways.values()), reverse=True)
+    # Popularity is heavy-tailed: the top gateway dominates.
+    assert users[0] >= 2 * users[-1]
+    # Full tagging in the canonical campaign.
+    for entry in gateways.values():
+        assert entry["coverage"] > 0.95

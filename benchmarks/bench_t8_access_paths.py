@@ -1,0 +1,14 @@
+"""Bench T8: regenerate the access-path mix table."""
+
+
+def test_t8_access_paths(regenerate):
+    output = regenerate("T8")
+    gateway = output.data["gateway"]
+    batch = output.data["batch"]
+    ensemble = output.data["ensemble"]
+    # Gateway jobs arrive only through portals; batch splits login/GRAM.
+    assert gateway["gateway"] == gateway["total"] > 0
+    assert batch["login"] > batch["gram"] > 0
+    assert batch["gateway"] == 0
+    # Workflow-engine ensembles show up as middleware-mediated submission.
+    assert ensemble["engine/other"] > 0

@@ -1,0 +1,34 @@
+"""Benchmark plumbing: run an experiment once, time it, archive its output.
+
+Each bench regenerates one table/figure of DESIGN.md §4.  The rendered text
+is printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can be assembled from the
+archived artifacts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run ``experiment_id`` once under the benchmark timer; archive output."""
+
+    def inner(experiment_id: str, **knobs):
+        from repro.experiments import run_experiment
+
+        output = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **knobs),
+            rounds=1,
+            iterations=1,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(str(output) + "\n", encoding="utf-8")
+        print(f"\n{output}\n[archived to {path}]")
+        return output
+
+    return inner

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The gateway measurement gap: why the paper wants job attributes.
+
+nanoHUB-style science gateways serve thousands of end users through one
+*community account*.  This example sweeps the fraction of gateway jobs that
+carry the proposed gateway-user attribute and shows what the central
+accounting database can (and cannot) say about the gateway community at each
+level — the paper's core argument, quantified.
+
+Run:  python examples/gateway_measurement_gap.py
+"""
+
+from repro.core import AttributeClassifier
+from repro.core.modalities import Modality
+from repro.core.report import ascii_table
+from repro.users.population import PopulationSpec
+from repro.workloads import ScenarioConfig, run_scenario
+
+
+def measure(coverage: float):
+    result = run_scenario(
+        ScenarioConfig(
+            scale="small",
+            days=15,
+            seed=7,
+            population=PopulationSpec(scale=0.04, n_gateways=2),
+            gateway_tagging_coverage=coverage,
+        )
+    )
+    truth = result.active_truth_by_identity()
+    true_gateway = sum(1 for m in truth.values() if m is Modality.GATEWAY)
+    classification = AttributeClassifier().classify(result.records)
+    gateway_identities = [
+        identity
+        for identity, modality in classification.identity_primary.items()
+        if modality is Modality.GATEWAY
+    ]
+    identified = sum(1 for identity in gateway_identities if ":" in identity)
+    gateway_jobs = sum(
+        1
+        for record in result.records
+        if record.attributes.get("submit_interface") == "gateway"
+    )
+    return true_gateway, identified, gateway_jobs
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for coverage in (0.0, 0.25, 0.5, 1.0):
+        true_gateway, identified, gateway_jobs = measure(coverage)
+        rows.append(
+            [
+                f"{coverage:.0%}",
+                gateway_jobs,
+                true_gateway,
+                identified,
+                f"{100 * identified / true_gateway:.0f}%" if true_gateway else "-",
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "attribute coverage",
+                "gateway jobs seen",
+                "true end users",
+                "end users identified",
+                "recovered",
+            ],
+            rows,
+            title="What accounting can say about the gateway community",
+        )
+    )
+    print(
+        "\nUsage (jobs, NUs) is visible at every coverage level — the\n"
+        "community account pays for it.  The *people* are invisible until\n"
+        "gateways attach per-job user attributes: exactly the\n"
+        "instrumentation the paper proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

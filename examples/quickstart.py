@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small TeraGrid, measure its usage modalities.
+
+Runs a 3-site federation with a ~60-user community for two simulated weeks,
+then answers the paper's question — *what are our users trying to do?* —
+from the accounting stream alone, and checks the answer against the
+simulation's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    AttributeClassifier,
+    HeuristicClassifier,
+    compute_metrics,
+    report,
+    score_classification,
+)
+from repro.core.modalities import MODALITY_ORDER
+from repro.users.population import PopulationSpec
+from repro.workloads import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    print("Simulating 14 days on a 3-site federation...")
+    result = run_scenario(
+        ScenarioConfig(
+            scale="small",
+            days=14,
+            seed=42,
+            population=PopulationSpec(scale=0.03),
+        )
+    )
+    records = result.records
+    print(
+        f"  {len(result.population)} users, {len(records)} usage records, "
+        f"{result.central.total_nu():,.0f} NUs charged\n"
+    )
+
+    print(report.taxonomy_table())
+    print()
+
+    # Measure modalities from the accounting stream (with instrumentation).
+    classification = AttributeClassifier().classify(records)
+    metrics = compute_metrics(records, classification)
+    truth = result.active_truth_by_identity()
+    true_counts = {m: 0 for m in MODALITY_ORDER}
+    for modality in truth.values():
+        true_counts[modality] += 1
+    print(
+        report.modality_table(
+            {
+                "true users": true_counts,
+                "measured users": metrics.users,
+                "jobs": metrics.jobs,
+                "NUs": {m: f"{metrics.nu[m]:,.0f}" for m in MODALITY_ORDER},
+            },
+            title="Usage modalities, measured from accounting records",
+        )
+    )
+
+    summary = score_classification(classification, result.truth_by_job())
+    print(f"\nPer-job classification accuracy vs ground truth: "
+          f"{summary.accuracy:.3f}")
+
+    # The same measurement without the paper's proposed instrumentation:
+    bare = HeuristicClassifier(
+        known_community_accounts=result.community_accounts
+    ).classify(records)
+    gateway_measured = bare.users_by_modality()
+    print(
+        "\nWithout job attributes, the "
+        f"{true_counts[MODALITY_ORDER[2]]} gateway end users collapse to "
+        f"{gateway_measured[MODALITY_ORDER[2]]} community account(s) — "
+        "the measurement gap the paper proposes to close."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate tables/figures from the terminal.
+
+Usage::
+
+    python -m repro list                # show the experiment index
+    python -m repro run T1              # regenerate one table/figure
+    python -m repro run T1 --days 30    # ...with reduced horizon
+    python -m repro taxonomy            # print the modality taxonomy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TeraGrid usage-modality reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("taxonomy", help="print the modality taxonomy table")
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate every table/figure into one report"
+    )
+    report_parser.add_argument("--fast", action="store_true",
+                               help="reduced horizons (smoke report)")
+    report_parser.add_argument("--out", default=None,
+                               help="write to a file instead of stdout")
+    report_parser.add_argument("--only", nargs="*", default=None,
+                               help="subset of experiment ids")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. T1, F3")
+    run_parser.add_argument("--days", type=float, default=None,
+                            help="override the simulated horizon")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the master seed")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "taxonomy":
+        from repro.core.report import taxonomy_table
+
+        print(taxonomy_table())
+        return 0
+
+    from repro.experiments import registry, run_experiment
+
+    if args.command == "report":
+        from repro.experiments.reporting import generate_report
+
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                generate_report(out=handle, fast=args.fast, only=args.only)
+            print(f"report written to {args.out}")
+        else:
+            generate_report(out=sys.stdout, fast=args.fast, only=args.only)
+        return 0
+
+    if args.command == "list":
+        for experiment_id in sorted(registry):
+            doc = (registry[experiment_id].__module__ or "").rsplit(".", 1)[-1]
+            print(f"{experiment_id:4s} {doc}")
+        return 0
+
+    knobs = {}
+    if args.days is not None:
+        knobs["days"] = args.days
+    if args.seed is not None:
+        knobs["seed"] = args.seed
+    try:
+        output = run_experiment(args.experiment_id.upper(), **knobs)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

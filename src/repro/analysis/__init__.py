@@ -1,0 +1,10 @@
+"""Statistical utilities for experiment analysis."""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    describe,
+    seed_replicates,
+    SummaryStats,
+)
+
+__all__ = ["SummaryStats", "bootstrap_ci", "describe", "seed_replicates"]

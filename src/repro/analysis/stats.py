@@ -1,0 +1,93 @@
+"""Summary statistics and uncertainty quantification for experiments.
+
+Single-run tables are fine for shape checks, but claims like "strategy A
+beats strategy B" deserve uncertainty: :func:`bootstrap_ci` gives
+nonparametric confidence intervals over per-job samples, and
+:func:`seed_replicates` re-runs a measurement across seeds for run-to-run
+spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "bootstrap_ci", "describe", "seed_replicates"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return (
+            f"n={self.n} mean={self.mean:.3g} median={self.median:.3g} "
+            f"p10={self.p10:.3g} p90={self.p90:.3g}"
+        )
+
+
+def describe(values: Iterable[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("describe() of an empty sample")
+    return SummaryStats(
+        n=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        median=float(np.median(array)),
+        p10=float(np.percentile(array, 10)),
+        p90=float(np.percentile(array, 90)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap CI: returns ``(point, low, high)``.
+
+    Deterministic for a fixed ``seed``; the point estimate is the statistic
+    on the full sample.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("bootstrap of an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(array))
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resampled[i] = statistic(
+            array[rng.integers(0, array.size, size=array.size)]
+        )
+    alpha = (1.0 - confidence) / 2.0
+    low = float(np.percentile(resampled, 100 * alpha))
+    high = float(np.percentile(resampled, 100 * (1 - alpha)))
+    return point, low, high
+
+
+def seed_replicates(
+    measure: Callable[[int], float], seeds: Sequence[int]
+) -> SummaryStats:
+    """Run ``measure(seed)`` per seed and summarize the replicate spread."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return describe(measure(seed) for seed in seeds)

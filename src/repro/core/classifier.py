@@ -1,0 +1,264 @@
+"""Modality classification from accounting records.
+
+Two classifiers implement the paper's before/after story:
+
+* :class:`AttributeClassifier` — assumes the proposed instrumentation is in
+  place: jobs carry submission-interface, gateway-user, ensemble/workflow,
+  co-allocation and interactive attributes.  Attribute-labelled jobs are
+  assigned directly; only the batch-vs-exploratory split still relies on
+  behavioural statistics (no attribute can reveal intent).
+* :class:`HeuristicClassifier` — the pre-instrumentation world: attributes
+  are ignored entirely and every signal must be inferred from structural
+  record fields (timing coincidences, submission bursts, queue names,
+  community-account membership).  Its failure modes — gateway-user collapse
+  above all — are what motivated the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.modalities import MODALITY_ORDER, Modality
+from repro.core.records import (
+    IdentityView,
+    build_identity_views,
+    burst_membership,
+    strip_attributes,
+)
+from repro.infra.accounting import UsageRecord
+from repro.infra.job import AttributeKeys
+from repro.infra.units import MINUTE
+
+__all__ = [
+    "ClassifierConfig",
+    "Classification",
+    "AttributeClassifier",
+    "HeuristicClassifier",
+]
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Thresholds for the behavioural heuristics.
+
+    Defaults follow the workload-modelling rules of thumb: porting activity
+    is minutes-scale, small, and failure-prone; production batch is
+    hours-scale and reliable.
+    """
+
+    #: residual jobs split: exploratory if median runtime below this...
+    exploratory_max_median_elapsed: float = 30 * MINUTE
+    #: ...and either failures are common or everything is tiny
+    exploratory_min_failure_fraction: float = 0.15
+    exploratory_max_median_cores: float = 4.0
+    #: submission-burst detection (ensemble signature)
+    burst_window: float = 30 * MINUTE
+    burst_min_size: int = 5
+    #: identity counts as ensemble-modality if this fraction of jobs burst
+    ensemble_min_burst_fraction: float = 0.5
+    #: heuristic coupled detection: multi-resource starts within epsilon
+    coupled_start_epsilon: float = 2 * MINUTE
+
+
+@dataclass
+class Classification:
+    """The output of a classifier run."""
+
+    job_labels: dict[int, Modality]
+    identity_modalities: dict[str, set[Modality]] = field(default_factory=dict)
+    identity_primary: dict[str, Modality] = field(default_factory=dict)
+    views: dict[str, IdentityView] = field(default_factory=dict)
+
+    def users_by_modality(self) -> dict[Modality, int]:
+        """Identities per *primary* modality (the paper's headline count)."""
+        counts = {m: 0 for m in Modality}
+        for modality in self.identity_primary.values():
+            counts[modality] += 1
+        return counts
+
+    def users_exhibiting(self) -> dict[Modality, int]:
+        """Identities exhibiting each modality at all (multi-membership)."""
+        counts = {m: 0 for m in Modality}
+        for modalities in self.identity_modalities.values():
+            for modality in modalities:
+                counts[modality] += 1
+        return counts
+
+    @property
+    def n_identities(self) -> int:
+        return len(self.identity_primary)
+
+
+def _split_residual(view: IdentityView, residual: list[UsageRecord],
+                    config: ClassifierConfig) -> Modality:
+    """Batch vs exploratory for an identity's unlabelled jobs."""
+    from repro.core.records import RecordFeatures
+
+    features = RecordFeatures.from_records(
+        residual, burst_window=config.burst_window,
+        burst_min_size=config.burst_min_size,
+    )
+    short = features.median_elapsed <= config.exploratory_max_median_elapsed
+    failure_prone = (
+        features.failure_fraction >= config.exploratory_min_failure_fraction
+    )
+    tiny = features.median_cores <= config.exploratory_max_median_cores
+    if short and (failure_prone or tiny):
+        return Modality.EXPLORATORY
+    return Modality.BATCH
+
+
+def _pick_primary(
+    view: IdentityView, labels: dict[int, Modality]
+) -> Modality:
+    """Primary modality: most jobs, then most NU, then taxonomy order."""
+    per_modality_jobs: dict[Modality, int] = {}
+    per_modality_nu: dict[Modality, float] = {}
+    for record in view.records:
+        modality = labels[record.job_id]
+        per_modality_jobs[modality] = per_modality_jobs.get(modality, 0) + 1
+        per_modality_nu[modality] = (
+            per_modality_nu.get(modality, 0.0) + record.charged_nu
+        )
+    return max(
+        per_modality_jobs,
+        key=lambda m: (
+            per_modality_jobs[m],
+            per_modality_nu[m],
+            -MODALITY_ORDER.index(m),
+        ),
+    )
+
+
+class AttributeClassifier:
+    """Classification with the paper's instrumentation in place."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config or ClassifierConfig()
+
+    def label_job(self, record: UsageRecord) -> Optional[Modality]:
+        """Attribute-determined label, or None for residual (batch/expl.)."""
+        attrs = record.attributes
+        if AttributeKeys.COALLOCATION_ID in attrs:
+            return Modality.COUPLED
+        if attrs.get(AttributeKeys.INTERACTIVE) or record.queue_name == "interactive":
+            return Modality.VIZ
+        if attrs.get(AttributeKeys.SUBMIT_INTERFACE) == "gateway":
+            return Modality.GATEWAY
+        if AttributeKeys.ENSEMBLE_ID in attrs or AttributeKeys.WORKFLOW_ID in attrs:
+            return Modality.ENSEMBLE
+        return None
+
+    def classify(self, records: Iterable[UsageRecord]) -> Classification:
+        views = build_identity_views(records, use_attributes=True)
+        job_labels: dict[int, Modality] = {}
+        identity_modalities: dict[str, set[Modality]] = {}
+        identity_primary: dict[str, Modality] = {}
+        for identity, view in views.items():
+            residual: list[UsageRecord] = []
+            for record in view.records:
+                label = self.label_job(record)
+                if label is None:
+                    residual.append(record)
+                else:
+                    job_labels[record.job_id] = label
+            if residual:
+                residual_label = _split_residual(view, residual, self.config)
+                for record in residual:
+                    job_labels[record.job_id] = residual_label
+            modalities = {job_labels[r.job_id] for r in view.records}
+            identity_modalities[identity] = modalities
+            identity_primary[identity] = _pick_primary(view, job_labels)
+        return Classification(
+            job_labels=job_labels,
+            identity_modalities=identity_modalities,
+            identity_primary=identity_primary,
+            views=views,
+        )
+
+
+class HeuristicClassifier:
+    """Classification from a pre-instrumentation accounting stream.
+
+    ``known_community_accounts`` reflects what TeraGrid *did* know before the
+    instrumentation: which allocations were community (gateway) awards.  Jobs
+    on those accounts are gateway usage — but every gateway's users collapse
+    onto its single community identity.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClassifierConfig] = None,
+        known_community_accounts: Optional[set[str]] = None,
+    ) -> None:
+        self.config = config or ClassifierConfig()
+        self.known_community_accounts = known_community_accounts or set()
+
+    def classify(self, records: Iterable[UsageRecord]) -> Classification:
+        bare = strip_attributes(records)
+        views = build_identity_views(bare, use_attributes=False)
+        config = self.config
+        job_labels: dict[int, Modality] = {}
+        identity_modalities: dict[str, set[Modality]] = {}
+        identity_primary: dict[str, Modality] = {}
+        for identity, view in views.items():
+            ordered = view.records  # already in submission order
+            coupled_ids = self._detect_coupled(ordered)
+            bursts = burst_membership(
+                ordered, config.burst_window, config.burst_min_size
+            )
+            residual: list[UsageRecord] = []
+            for record, in_burst in zip(ordered, bursts):
+                if record.job_id in coupled_ids:
+                    job_labels[record.job_id] = Modality.COUPLED
+                elif record.queue_name == "interactive":
+                    job_labels[record.job_id] = Modality.VIZ
+                elif record.account in self.known_community_accounts:
+                    job_labels[record.job_id] = Modality.GATEWAY
+                elif in_burst:
+                    job_labels[record.job_id] = Modality.ENSEMBLE
+                else:
+                    residual.append(record)
+            if residual:
+                residual_label = _split_residual(view, residual, config)
+                for record in residual:
+                    job_labels[record.job_id] = residual_label
+            identity_modalities[identity] = {
+                job_labels[r.job_id] for r in ordered
+            }
+            identity_primary[identity] = _pick_primary(view, job_labels)
+        return Classification(
+            job_labels=job_labels,
+            identity_modalities=identity_modalities,
+            identity_primary=identity_primary,
+            views=views,
+        )
+
+    def _detect_coupled(self, ordered: list[UsageRecord]) -> set[int]:
+        """Job ids whose starts coincide across distinct resources.
+
+        The structural fingerprint of a co-allocated run: the same user's
+        jobs starting within ``coupled_start_epsilon`` of each other on
+        different machines with the same requested walltime.
+        """
+        started = [r for r in ordered if r.ran]
+        started.sort(key=lambda r: (r.start_time, r.job_id))
+        coupled: set[int] = set()
+        epsilon = self.config.coupled_start_epsilon
+        i = 0
+        while i < len(started):
+            group = [started[i]]
+            j = i + 1
+            while (
+                j < len(started)
+                and started[j].start_time - started[i].start_time <= epsilon
+                and started[j].requested_walltime
+                == started[i].requested_walltime
+            ):
+                group.append(started[j])
+                j += 1
+            if len({r.resource for r in group}) >= 2:
+                coupled.update(r.job_id for r in group)
+            i = j if j > i + 1 else i + 1
+        return coupled

@@ -1,0 +1,103 @@
+"""Scoring the measurement system against simulation ground truth.
+
+The real TeraGrid could never do this — there was no ground truth.  The
+simulation knows each job's and each user's true modality, so classifier
+quality becomes measurable: per-modality precision/recall/F1 over jobs, user
+counts versus truth, and per-identity primary-modality accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.classifier import Classification
+from repro.core.modalities import MODALITY_ORDER, Modality
+
+__all__ = ["ConfusionSummary", "score_classification", "user_count_errors"]
+
+
+@dataclass
+class ConfusionSummary:
+    """Per-modality job-level confusion statistics."""
+
+    #: confusion[truth][predicted] = job count
+    confusion: dict[Modality, dict[Modality, int]] = field(default_factory=dict)
+    n_jobs: int = 0
+    n_correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.n_jobs == 0:
+            return 0.0
+        return self.n_correct / self.n_jobs
+
+    def _predicted_count(self, modality: Modality) -> int:
+        return sum(row.get(modality, 0) for row in self.confusion.values())
+
+    def _truth_count(self, modality: Modality) -> int:
+        return sum(self.confusion.get(modality, {}).values())
+
+    def precision(self, modality: Modality) -> float:
+        predicted = self._predicted_count(modality)
+        if predicted == 0:
+            return 0.0
+        return self.confusion.get(modality, {}).get(modality, 0) / predicted
+
+    def recall(self, modality: Modality) -> float:
+        truth = self._truth_count(modality)
+        if truth == 0:
+            return 0.0
+        return self.confusion.get(modality, {}).get(modality, 0) / truth
+
+    def f1(self, modality: Modality) -> float:
+        p, r = self.precision(modality), self.recall(modality)
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def score_classification(
+    classification: Classification,
+    truth_by_job: Mapping[int, Modality],
+) -> ConfusionSummary:
+    """Job-level confusion of predicted labels against ground truth.
+
+    Jobs present in the classification but absent from ``truth_by_job`` are
+    an error (the harness must supply truth for every simulated job).
+    """
+    summary = ConfusionSummary(
+        confusion={m: {n: 0 for n in MODALITY_ORDER} for m in MODALITY_ORDER}
+    )
+    for job_id, predicted in classification.job_labels.items():
+        try:
+            truth = truth_by_job[job_id]
+        except KeyError:
+            raise ValueError(f"no ground truth for job {job_id}") from None
+        summary.confusion[truth][predicted] += 1
+        summary.n_jobs += 1
+        if truth is predicted:
+            summary.n_correct += 1
+    return summary
+
+
+def user_count_errors(
+    measured_users: Mapping[Modality, int],
+    true_users: Mapping[Modality, int],
+) -> dict[Modality, float]:
+    """Relative error of measured user counts per modality.
+
+    ``(measured - true) / true``; 0 is perfect, -1 means the modality's users
+    were entirely invisible (the uninstrumented-gateway pathology).
+    A modality with no true users maps to 0.0 when also measured as 0, else
+    +inf is avoided by reporting the raw measured count as the error.
+    """
+    errors: dict[Modality, float] = {}
+    for modality in MODALITY_ORDER:
+        true = true_users.get(modality, 0)
+        measured = measured_users.get(modality, 0)
+        if true == 0:
+            errors[modality] = float(measured)
+        else:
+            errors[modality] = (measured - true) / true
+    return errors

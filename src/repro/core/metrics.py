@@ -1,0 +1,119 @@
+"""Usage metrics by modality (the numbers the paper's tables report)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.classifier import Classification
+from repro.core.modalities import MODALITY_ORDER, Modality
+from repro.infra.accounting import UsageRecord
+
+__all__ = ["ModalityMetrics", "compute_metrics", "gini"]
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative usage distribution (0=equal)."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise ValueError("gini of an empty sequence")
+    if np.any(array < 0):
+        raise ValueError("gini requires non-negative values")
+    total = array.sum()
+    if total == 0:
+        return 0.0
+    n = array.size
+    # Standard rank formula: G = (2*sum(i*x_i)/ (n*sum(x)) ) - (n+1)/n
+    ranks = np.arange(1, n + 1)
+    return float(2.0 * np.sum(ranks * array) / (n * total) - (n + 1) / n)
+
+
+@dataclass
+class ModalityMetrics:
+    """Aggregates per modality from one classified record set."""
+
+    users: dict[Modality, int] = field(default_factory=dict)
+    jobs: dict[Modality, int] = field(default_factory=dict)
+    nu: dict[Modality, float] = field(default_factory=dict)
+    by_site_nu: dict[str, dict[Modality, float]] = field(default_factory=dict)
+    job_sizes: dict[Modality, list[int]] = field(default_factory=dict)
+    wait_times: dict[Modality, list[float]] = field(default_factory=dict)
+    usage_gini: float = 0.0
+
+    @property
+    def total_nu(self) -> float:
+        return sum(self.nu.values())
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(self.jobs.values())
+
+    @property
+    def total_users(self) -> int:
+        return sum(self.users.values())
+
+    def jobs_per_user(self, modality: Modality) -> float:
+        users = self.users.get(modality, 0)
+        if users == 0:
+            return 0.0
+        return self.jobs.get(modality, 0) / users
+
+    def nu_share(self, modality: Modality) -> float:
+        total = self.total_nu
+        if total == 0:
+            return 0.0
+        return self.nu.get(modality, 0.0) / total
+
+    def size_percentile(self, modality: Modality, q: float) -> float:
+        sizes = self.job_sizes.get(modality, [])
+        if not sizes:
+            return 0.0
+        return float(np.percentile(sizes, q))
+
+    def median_wait(self, modality: Modality) -> float:
+        waits = self.wait_times.get(modality, [])
+        if not waits:
+            return 0.0
+        return float(np.median(waits))
+
+
+def compute_metrics(
+    records: Iterable[UsageRecord], classification: Classification
+) -> ModalityMetrics:
+    """Fold classified records into the per-modality aggregates.
+
+    ``records`` must be the same set the classification was computed over
+    (every record's job id needs a label).
+    """
+    metrics = ModalityMetrics(
+        users={m: 0 for m in MODALITY_ORDER},
+        jobs={m: 0 for m in MODALITY_ORDER},
+        nu={m: 0.0 for m in MODALITY_ORDER},
+        job_sizes={m: [] for m in MODALITY_ORDER},
+        wait_times={m: [] for m in MODALITY_ORDER},
+    )
+    record_list = list(records)
+    per_identity_nu: dict[str, float] = {}
+    for record in record_list:
+        try:
+            modality = classification.job_labels[record.job_id]
+        except KeyError:
+            raise ValueError(
+                f"record for job {record.job_id} has no classification label"
+            ) from None
+        metrics.jobs[modality] += 1
+        metrics.nu[modality] += record.charged_nu
+        metrics.job_sizes[modality].append(record.cores)
+        if record.wait_time is not None:
+            metrics.wait_times[modality].append(record.wait_time)
+        site = metrics.by_site_nu.setdefault(record.resource, {})
+        site[modality] = site.get(modality, 0.0) + record.charged_nu
+    for modality in classification.identity_primary.values():
+        metrics.users[modality] += 1
+    for identity, view in classification.views.items():
+        per_identity_nu[identity] = sum(r.charged_nu for r in view.records)
+    if per_identity_nu:
+        metrics.usage_gini = gini(per_identity_nu.values())
+    return metrics

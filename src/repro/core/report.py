@@ -1,0 +1,82 @@
+"""Rendering tables and figure series as text.
+
+Benchmarks print the regenerated tables/figures through these helpers so
+`pytest benchmarks/ --benchmark-only` output doubles as the experiment
+report (captured into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.modalities import MODALITY_ORDER, MODALITY_TAXONOMY, Modality
+
+__all__ = ["ascii_table", "series_block", "modality_table", "taxonomy_table"]
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width table with a rule under the header."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_block(
+    title: str, series: Mapping[str, Sequence[tuple[float, float]]]
+) -> str:
+    """Figure data as labelled ``x y`` columns (one block per series)."""
+    lines = [title]
+    for name in series:
+        lines.append(f"# series: {name}")
+        for x, y in series[name]:
+            lines.append(f"{x:g}\t{y:g}")
+    return "\n".join(lines)
+
+
+def modality_table(
+    columns: Mapping[str, Mapping[Modality, object]],
+    title: str = "",
+    fmt: str = "{}",
+) -> str:
+    """One row per modality, one column per named measurement."""
+    headers = ["modality", *columns.keys()]
+    rows = []
+    for modality in MODALITY_ORDER:
+        row: list[object] = [MODALITY_TAXONOMY[modality].label]
+        for name in columns:
+            value = columns[name].get(modality, "")
+            row.append(fmt.format(value) if value != "" else "")
+        rows.append(row)
+    return ascii_table(headers, rows, title=title)
+
+
+def taxonomy_table() -> str:
+    """The taxonomy itself (the paper's definitional table)."""
+    headers = ["modality", "objective", "access", "measurable signals"]
+    rows = [
+        [
+            desc.label,
+            desc.objective,
+            desc.access,
+            "; ".join(desc.signals),
+        ]
+        for desc in (MODALITY_TAXONOMY[m] for m in MODALITY_ORDER)
+    ]
+    return ascii_table(headers, rows, title="TeraGrid usage-modality taxonomy")

@@ -1,0 +1,112 @@
+"""The survey channel: asking users *why* (and how wrong the answers are).
+
+The abstract's third question — *why* users pursue their objectives — cannot
+be answered from accounting data; TeraGrid used user surveys.  Surveys have
+two well-known defects this model makes measurable: **non-response** (and
+response propensity that varies by modality: gateway users, who never touch
+TeraGrid directly, essentially never answer TeraGrid surveys) and
+**self-report error** (users describe their work in the nearest prestigious
+category).  Experiment T5 compares survey-derived modality shares with the
+accounting measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.core.modalities import MODALITY_ORDER, Modality
+
+__all__ = ["SurveyInstrument", "SurveyResult"]
+
+#: Default response rates per true modality: command-line users answer at
+#: typical campaign rates; gateway end users are unreachable by the provider.
+DEFAULT_RESPONSE_RATES: dict[Modality, float] = {
+    Modality.BATCH: 0.30,
+    Modality.EXPLORATORY: 0.20,
+    Modality.GATEWAY: 0.02,
+    Modality.ENSEMBLE: 0.30,
+    Modality.VIZ: 0.40,
+    Modality.COUPLED: 0.60,
+}
+
+#: Default confusion: rows are truth, columns self-report probabilities.
+#: Exploratory users tend to call themselves batch users ("I run simulations");
+#: ensemble users split between batch and ensemble labels.
+DEFAULT_SELF_REPORT: dict[Modality, dict[Modality, float]] = {
+    Modality.BATCH: {Modality.BATCH: 0.95, Modality.ENSEMBLE: 0.05},
+    Modality.EXPLORATORY: {Modality.EXPLORATORY: 0.55, Modality.BATCH: 0.45},
+    Modality.GATEWAY: {Modality.GATEWAY: 0.90, Modality.BATCH: 0.10},
+    Modality.ENSEMBLE: {Modality.ENSEMBLE: 0.70, Modality.BATCH: 0.30},
+    Modality.VIZ: {Modality.VIZ: 0.85, Modality.BATCH: 0.15},
+    Modality.COUPLED: {Modality.COUPLED: 0.90, Modality.BATCH: 0.10},
+}
+
+
+@dataclass
+class SurveyResult:
+    """Outcome of one survey campaign."""
+
+    invited: int
+    responses: dict[str, Modality] = field(default_factory=dict)
+
+    @property
+    def response_rate(self) -> float:
+        if self.invited == 0:
+            return 0.0
+        return len(self.responses) / self.invited
+
+    def reported_counts(self) -> dict[Modality, int]:
+        counts = {m: 0 for m in MODALITY_ORDER}
+        for modality in self.responses.values():
+            counts[modality] += 1
+        return counts
+
+    def reported_shares(self) -> dict[Modality, float]:
+        counts = self.reported_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return {m: 0.0 for m in MODALITY_ORDER}
+        return {m: counts[m] / total for m in MODALITY_ORDER}
+
+
+class SurveyInstrument:
+    """Simulates a survey campaign over a user population."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        response_rates: Optional[Mapping[Modality, float]] = None,
+        self_report: Optional[Mapping[Modality, Mapping[Modality, float]]] = None,
+    ) -> None:
+        self.rng = rng
+        self.response_rates = dict(response_rates or DEFAULT_RESPONSE_RATES)
+        self.self_report = {
+            truth: dict(row)
+            for truth, row in (self_report or DEFAULT_SELF_REPORT).items()
+        }
+        for modality, rate in self.response_rates.items():
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"response rate for {modality} out of [0,1]")
+        for truth, row in self.self_report.items():
+            total = sum(row.values())
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"self-report row for {truth} sums to {total}, not 1"
+                )
+
+    def run(self, true_modality_by_user: Mapping[str, Modality]) -> SurveyResult:
+        """Invite every user; collect biased self-reports."""
+        result = SurveyResult(invited=len(true_modality_by_user))
+        for user in sorted(true_modality_by_user):
+            truth = true_modality_by_user[user]
+            if self.rng.random() >= self.response_rates.get(truth, 0.0):
+                continue
+            row = self.self_report.get(truth, {truth: 1.0})
+            options = sorted(row, key=lambda m: m.value)
+            probs = np.array([row[m] for m in options], dtype=float)
+            reported = options[int(self.rng.choice(len(options), p=probs))]
+            result.responses[user] = reported
+        return result

@@ -1,0 +1,38 @@
+"""The experiment suite: one module per table/figure of DESIGN.md §4.
+
+Each experiment exposes ``run(**knobs) -> ExperimentOutput``; the registry
+maps experiment ids to those functions so benchmarks, examples and the
+command line can share one implementation.
+"""
+
+from repro.experiments.base import ExperimentOutput, campaign, registry, run_experiment
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    t1_users,
+    t2_usage,
+    t3_accuracy,
+    t4_sites,
+    t5_survey,
+    t6_fields,
+    t7_gateways,
+    t8_access_paths,
+    f1_growth,
+    f2_jobsize,
+    f3_wait_times,
+    f4_capability,
+    f5_metascheduling,
+    f6_attribute_coverage,
+    f7_workflows,
+    f8_pilots,
+    f9_data_movement,
+    a1_walltime_accuracy,
+    a2_reservation_style,
+    a3_checkpointing,
+    r1_replicates,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "campaign",
+    "registry",
+    "run_experiment",
+]

@@ -1,0 +1,101 @@
+"""Experiment plumbing: output container, registry, campaign cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.users.population import PopulationSpec
+from repro.workloads import ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = [
+    "ExperimentOutput",
+    "registry",
+    "register",
+    "run_experiment",
+    "campaign",
+    "CAMPAIGN_DAYS",
+    "CAMPAIGN_SEED",
+]
+
+#: The canonical campaign most table experiments share (DESIGN.md §4).
+CAMPAIGN_DAYS = 90.0
+CAMPAIGN_SEED = 1
+CAMPAIGN_SCALE = "small"
+CAMPAIGN_POPULATION_SCALE = 0.05
+
+
+@dataclass
+class ExperimentOutput:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    text: str  # rendered tables / series blocks
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
+
+
+registry: dict[str, Callable[..., ExperimentOutput]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator: add an experiment ``run`` function to the registry."""
+
+    def wrap(func: Callable[..., ExperimentOutput]):
+        if experiment_id in registry:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        registry[experiment_id] = func
+        return func
+
+    return wrap
+
+
+def run_experiment(experiment_id: str, **knobs) -> ExperimentOutput:
+    try:
+        func = registry[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(registry)}"
+        ) from None
+    return func(**knobs)
+
+
+_campaign_cache: dict[tuple, ScenarioResult] = {}
+
+
+def campaign(
+    days: float = CAMPAIGN_DAYS,
+    seed: int = CAMPAIGN_SEED,
+    scale: str = CAMPAIGN_SCALE,
+    population_scale: float = CAMPAIGN_POPULATION_SCALE,
+    gateway_tagging_coverage: float = 1.0,
+    gateway_adoption_ramp_days: float = 0.0,
+) -> ScenarioResult:
+    """The shared campaign, memoized per knob combination.
+
+    Several experiments read different aspects of the same run; caching keeps
+    the benchmark suite's wall-clock dominated by distinct simulations only.
+    """
+    key = (
+        days,
+        seed,
+        scale,
+        population_scale,
+        gateway_tagging_coverage,
+        gateway_adoption_ramp_days,
+    )
+    if key not in _campaign_cache:
+        _campaign_cache[key] = run_scenario(
+            ScenarioConfig(
+                scale=scale,
+                days=days,
+                seed=seed,
+                population=PopulationSpec(scale=population_scale),
+                gateway_tagging_coverage=gateway_tagging_coverage,
+                gateway_adoption_ramp_days=gateway_adoption_ramp_days,
+            )
+        )
+    return _campaign_cache[key]

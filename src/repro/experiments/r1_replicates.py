@@ -1,0 +1,77 @@
+"""R1 — Seed sensitivity of the headline table.
+
+Every other experiment reports one seed; R1 re-measures T1's instrumented
+user counts across independent seeds and reports the replicate spread, so
+EXPERIMENTS.md can state which digits of the headline table are stable.
+
+Shape expectation: the per-modality counts vary by at most a few users
+across seeds (activity, not population, is the random part — the population
+counts themselves are deterministic at fixed scale), and the dominance
+ordering BATCH > EXPLORATORY > GATEWAY > ENSEMBLE > VIZ >= COUPLED holds in
+every replicate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import describe
+from repro.core import AttributeClassifier
+from repro.core.modalities import MODALITY_ORDER
+from repro.core.report import ascii_table
+from repro.experiments.base import ExperimentOutput, campaign, register
+
+__all__ = ["run"]
+
+
+@register("R1")
+def run(
+    days: float = 45.0,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    population_scale: float = 0.05,
+) -> ExperimentOutput:
+    replicates: dict[str, list[int]] = {m.value: [] for m in MODALITY_ORDER}
+    orderings_ok = 0
+    for seed in seeds:
+        result = campaign(days=days, seed=seed, population_scale=population_scale)
+        counts = AttributeClassifier().classify(result.records).users_by_modality()
+        values = [counts[m] for m in MODALITY_ORDER]
+        if all(a >= b for a, b in zip(values, values[1:])):
+            orderings_ok += 1
+        for modality in MODALITY_ORDER:
+            replicates[modality.value].append(counts[modality])
+
+    rows = []
+    data = {}
+    for modality in MODALITY_ORDER:
+        stats = describe(replicates[modality.value])
+        rows.append(
+            [
+                modality.value,
+                f"{stats.mean:.1f}",
+                f"{stats.minimum:.0f}-{stats.maximum:.0f}",
+                f"{stats.std:.2f}",
+            ]
+        )
+        data[modality.value] = {
+            "mean": stats.mean,
+            "min": stats.minimum,
+            "max": stats.maximum,
+            "std": stats.std,
+            "values": replicates[modality.value],
+        }
+    text = ascii_table(
+        ["modality", "mean users", "range", "std"],
+        rows,
+        title=(
+            f"R1 — Measured users per modality across seeds {list(seeds)} "
+            f"({days:g} days; dominance ordering held in "
+            f"{orderings_ok}/{len(seeds)} replicates)"
+        ),
+    )
+    data["orderings_ok"] = orderings_ok
+    data["n_seeds"] = len(seeds)
+    return ExperimentOutput(
+        experiment_id="R1",
+        title="Seed sensitivity of the headline user counts",
+        text=text,
+        data=data,
+    )

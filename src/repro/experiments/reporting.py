@@ -1,0 +1,73 @@
+"""Run the whole experiment suite and assemble one report.
+
+``python -m repro report`` regenerates every registered table/figure and
+concatenates them — the programmatic source of EXPERIMENTS.md's measured
+sections.  ``fast=True`` substitutes reduced horizons for a minutes-scale
+smoke report.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.experiments.base import ExperimentOutput, registry, run_experiment
+
+__all__ = ["FAST_KNOBS", "generate_report"]
+
+#: Reduced-horizon knobs per experiment for smoke reports.
+FAST_KNOBS: dict[str, dict] = {
+    "T1": {"days": 15.0},
+    "T2": {"days": 15.0},
+    "T3": {"days": 15.0},
+    "T4": {"days": 15.0},
+    "T5": {"days": 15.0},
+    "T6": {"days": 15.0},
+    "T7": {"days": 15.0},
+    "T8": {"days": 15.0},
+    "F1": {"days": 60.0, "ramp_days": 40.0},
+    "F2": {"days": 15.0},
+    "F3": {"days": 5.0},
+    "F4": {"days": 21.0, "hero_rates": (1, 4)},
+    "F5": {"days": 3.0},
+    "F6": {"days": 10.0, "coverages": (0.0, 0.5, 1.0)},
+    "F7": {"widths": (4, 16)},
+    "F8": {"days": 5.0, "width": 60},
+    "F9": {"days": 15.0},
+    "A1": {"days": 5.0},
+    "A2": {"days": 6.0},
+    "A3": {"mtbfs_hours": (500.0, 4000.0)},
+    "R1": {"days": 10.0, "seeds": (1, 2, 3)},
+}
+
+_ORDER = [
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+    "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+    "A1", "A2", "A3", "R1",
+]
+
+
+def generate_report(
+    out: TextIO = sys.stdout,
+    fast: bool = False,
+    only: Optional[list[str]] = None,
+) -> list[ExperimentOutput]:
+    """Run experiments (all, or ``only``) and write their text to ``out``."""
+    wanted = [e.upper() for e in only] if only else list(_ORDER)
+    missing = [e for e in wanted if e not in registry]
+    if missing:
+        raise KeyError(f"unknown experiments: {missing}")
+    # Anything registered but absent from the display order runs last.
+    wanted += [e for e in sorted(registry) if e not in wanted and not only]
+    outputs = []
+    for experiment_id in wanted:
+        knobs = FAST_KNOBS.get(experiment_id, {}) if fast else {}
+        started = time.time()
+        output = run_experiment(experiment_id, **knobs)
+        elapsed = time.time() - started
+        outputs.append(output)
+        out.write(f"{output}\n")
+        out.write(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n\n")
+        out.flush()
+    return outputs

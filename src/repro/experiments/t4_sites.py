@@ -1,0 +1,52 @@
+"""T4 — Per-site modality breakdown (NU share per resource x modality).
+
+Shape expectation: every site is BATCH-dominated; gateway and exploratory
+usage concentrate NU-wise on the smaller, cheaper machines in relative
+terms; the largest machines host the coupled runs.
+"""
+
+from __future__ import annotations
+
+from repro.core import AttributeClassifier, compute_metrics
+from repro.core.modalities import MODALITY_ORDER
+from repro.core.report import ascii_table
+from repro.experiments.base import ExperimentOutput, campaign, register
+
+__all__ = ["run"]
+
+
+@register("T4")
+def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput:
+    result = campaign(days=days, seed=seed, **campaign_knobs)
+    records = result.records
+    classification = AttributeClassifier().classify(records)
+    metrics = compute_metrics(records, classification)
+
+    sites = sorted(metrics.by_site_nu)
+    headers = ["site", "total NUs", *[m.value for m in MODALITY_ORDER]]
+    rows = []
+    for site in sites:
+        split = metrics.by_site_nu[site]
+        total = sum(split.values())
+        row = [site, f"{total:,.0f}"]
+        for modality in MODALITY_ORDER:
+            share = split.get(modality, 0.0) / total if total else 0.0
+            row.append(f"{100 * share:.1f}%")
+        rows.append(row)
+    text = ascii_table(
+        headers,
+        rows,
+        title=f"T4 — NU share per site x modality over {days:g} days",
+    )
+    return ExperimentOutput(
+        experiment_id="T4",
+        title="Per-site modality breakdown",
+        text=text,
+        data={
+            site: {
+                m.value: metrics.by_site_nu[site].get(m, 0.0)
+                for m in MODALITY_ORDER
+            }
+            for site in sites
+        },
+    )

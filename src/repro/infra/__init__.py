@@ -1,0 +1,76 @@
+"""The simulated TeraGrid substrate.
+
+Everything the measurement system (:mod:`repro.core`) observes is produced
+here: resource-provider sites with batch-scheduled clusters, allocations and
+service-unit charging, a central accounting database, a wide-area network,
+storage, science gateways, submission interfaces, an information service, a
+metascheduler, a co-allocator for tightly-coupled multi-site runs, and a DAG
+workflow engine.
+"""
+
+from repro.infra.units import (
+    HOUR,
+    DAY,
+    WEEK,
+    MINUTE,
+    core_hours,
+    nu_charge,
+)
+from repro.infra.job import Job, JobState, SubmissionInterface
+from repro.infra.cluster import Cluster
+from repro.infra.allocations import Allocation, AllocationLedger, AllocationType
+from repro.infra.accounting import CentralAccountingDB, UsageRecord
+from repro.infra.site import ResourceProvider
+from repro.infra.network import Network, NetworkLink, Transfer
+from repro.infra.storage import DataCollection, StorageSystem
+from repro.infra.submission import LoginSubmitter, GramSubmitter
+from repro.infra.gateway import ScienceGateway
+from repro.infra.infoservice import InformationService
+from repro.infra.metascheduler import Metascheduler, SelectionStrategy
+from repro.infra.workflow import TaskGraph, WorkflowEngine
+from repro.infra.coalloc import CoAllocator
+from repro.infra.faults import NodeFailureInjector
+from repro.infra.pilot import Pilot, PilotManager, PilotTask
+from repro.infra.queues import QueueSet, QueueSpec, default_queues
+from repro.infra.maintenance import MaintenanceSchedule
+
+__all__ = [
+    "Allocation",
+    "AllocationLedger",
+    "AllocationType",
+    "CentralAccountingDB",
+    "Cluster",
+    "CoAllocator",
+    "DataCollection",
+    "DAY",
+    "GramSubmitter",
+    "HOUR",
+    "InformationService",
+    "Job",
+    "JobState",
+    "LoginSubmitter",
+    "MaintenanceSchedule",
+    "Metascheduler",
+    "MINUTE",
+    "Network",
+    "NetworkLink",
+    "NodeFailureInjector",
+    "Pilot",
+    "PilotManager",
+    "PilotTask",
+    "QueueSet",
+    "QueueSpec",
+    "ResourceProvider",
+    "default_queues",
+    "ScienceGateway",
+    "SelectionStrategy",
+    "StorageSystem",
+    "SubmissionInterface",
+    "TaskGraph",
+    "Transfer",
+    "UsageRecord",
+    "WEEK",
+    "WorkflowEngine",
+    "core_hours",
+    "nu_charge",
+]

@@ -1,0 +1,128 @@
+"""Allocation accounts and service-unit charging.
+
+TeraGrid usage is charged against *allocations*: peer-reviewed research
+grants, small startup grants, or *community* allocations held by science
+gateways on behalf of their whole user base.  The community-allocation
+mechanism is what makes gateway usage measurement hard — thousands of end
+users share one account — and is why the paper proposes per-job gateway-user
+attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Allocation", "AllocationLedger", "AllocationType"]
+
+
+class AllocationType(enum.Enum):
+    STARTUP = "startup"  # small exploratory grants
+    RESEARCH = "research"  # peer-reviewed (TRAC) awards
+    COMMUNITY = "community"  # gateway-held, shared by many end users
+
+
+@dataclass
+class Allocation:
+    """A single account: an NU budget shared by one or more users.
+
+    ``field_of_science`` is the award's discipline (allocations, not users,
+    carry the field in TeraGrid accounting — usage reports join through it).
+    """
+
+    account_id: str
+    kind: AllocationType
+    budget_nu: float
+    users: set[str] = field(default_factory=set)
+    charged_nu: float = 0.0
+    overdraft_allowed: bool = True
+    field_of_science: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.budget_nu < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget_nu}")
+
+    @property
+    def remaining_nu(self) -> float:
+        return self.budget_nu - self.charged_nu
+
+    @property
+    def exhausted(self) -> bool:
+        return self.charged_nu >= self.budget_nu
+
+    def charge(self, nu: float) -> float:
+        """Charge ``nu`` normalized units; returns the amount charged.
+
+        With ``overdraft_allowed`` (the default — TeraGrid charged jobs that
+        ran even if they overran the award) the full amount is charged; the
+        account simply goes negative.  Otherwise the charge is clipped to the
+        remaining balance.
+        """
+        if nu < 0:
+            raise ValueError(f"charge must be >= 0, got {nu}")
+        amount = nu if self.overdraft_allowed else min(nu, max(self.remaining_nu, 0.0))
+        self.charged_nu += amount
+        return amount
+
+
+class AllocationLedger:
+    """Registry of all allocations, indexed by account and by user."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[str, Allocation] = {}
+        self._by_user: dict[str, list[str]] = {}
+
+    def create(
+        self,
+        account_id: str,
+        kind: AllocationType,
+        budget_nu: float,
+        users: set[str] | None = None,
+        overdraft_allowed: bool = True,
+        field_of_science: Optional[str] = None,
+    ) -> Allocation:
+        if account_id in self._accounts:
+            raise ValueError(f"duplicate account id {account_id!r}")
+        allocation = Allocation(
+            account_id=account_id,
+            kind=kind,
+            budget_nu=budget_nu,
+            users=set(users or ()),
+            overdraft_allowed=overdraft_allowed,
+            field_of_science=field_of_science,
+        )
+        self._accounts[account_id] = allocation
+        for user in allocation.users:
+            self._by_user.setdefault(user, []).append(account_id)
+        return allocation
+
+    def add_user(self, account_id: str, user: str) -> None:
+        allocation = self.get(account_id)
+        if user not in allocation.users:
+            allocation.users.add(user)
+            self._by_user.setdefault(user, []).append(account_id)
+
+    def get(self, account_id: str) -> Allocation:
+        try:
+            return self._accounts[account_id]
+        except KeyError:
+            raise KeyError(f"unknown account {account_id!r}") from None
+
+    def accounts_of(self, user: str) -> list[Allocation]:
+        return [self._accounts[a] for a in self._by_user.get(user, [])]
+
+    def charge(self, account_id: str, nu: float) -> float:
+        return self.get(account_id).charge(nu)
+
+    def all_accounts(self) -> list[Allocation]:
+        return list(self._accounts.values())
+
+    def total_charged(self) -> float:
+        return sum(a.charged_nu for a in self._accounts.values())
+
+    def __contains__(self, account_id: str) -> bool:
+        return account_id in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)

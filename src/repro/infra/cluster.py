@@ -1,0 +1,49 @@
+"""The compute hardware of one resource provider.
+
+A :class:`Cluster` is a pool of identical nodes.  Jobs are placed with node
+granularity (a job occupying any core of a node owns the whole node, the
+normal space-sharing discipline of 2010-era capability systems), while
+charging remains per requested core.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Cluster"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Static description of a machine: ``nodes`` x ``cores_per_node``.
+
+    ``nu_per_core_hour`` is the TeraGrid normalization factor of this system
+    (how many normalized units one core-hour here is worth).
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    nu_per_core_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("cluster needs >= 1 node and >= 1 core per node")
+        if self.nu_per_core_hour <= 0:
+            raise ValueError("nu_per_core_hour must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def nodes_for(self, cores: int) -> int:
+        """Nodes a request for ``cores`` occupies (whole-node allocation)."""
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if cores > self.total_cores:
+            raise ValueError(
+                f"request for {cores} cores exceeds {self.name}'s "
+                f"{self.total_cores} cores"
+            )
+        return math.ceil(cores / self.cores_per_node)

@@ -1,0 +1,98 @@
+"""Science gateways: community accounts and the attribute-tagging problem.
+
+A science gateway (nanoHUB, CIPRES, the CCSM portal, …) fronts the grid for a
+large community of end users who never hold TeraGrid accounts: every job the
+gateway submits runs under one *community account*.  To central accounting,
+10,000 gateway users are one username — unless the gateway attaches a
+*gateway user attribute* to each job, which is exactly the instrumentation
+the paper argues for.
+
+``tagging_coverage`` models partial adoption of that instrumentation: the
+fraction of submitted jobs that carry the end-user attribute.  Experiment F6
+sweeps it and reads the measured gateway-user count off the classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infra.job import AttributeKeys, Job, SubmissionInterface
+from repro.infra.site import ResourceProvider
+
+__all__ = ["ScienceGateway"]
+
+
+class ScienceGateway:
+    """One gateway: a portal identity, a community account, and its users."""
+
+    def __init__(
+        self,
+        name: str,
+        community_user: str,
+        community_account: str,
+        rng: np.random.Generator,
+        tagging_coverage: float = 1.0,
+    ) -> None:
+        if not (0.0 <= tagging_coverage <= 1.0):
+            raise ValueError(
+                f"tagging_coverage must be in [0, 1], got {tagging_coverage}"
+            )
+        self.name = name
+        self.community_user = community_user
+        self.community_account = community_account
+        self.rng = rng
+        self.tagging_coverage = tagging_coverage
+        #: distinct end users who have run at least one job (ground truth)
+        self.end_users_served: set[str] = set()
+        self.jobs_submitted = 0
+        self.jobs_tagged = 0
+
+    def submit(
+        self,
+        site: ResourceProvider,
+        gateway_user: str,
+        cores: int,
+        walltime: float,
+        true_runtime: float,
+        will_fail: bool = False,
+        true_modality: str | None = None,
+        extra_attributes: dict | None = None,
+    ) -> Job:
+        """Run one job on behalf of ``gateway_user`` under the community account.
+
+        The job's accounting ``user`` is the community user; the end user is
+        visible to accounting only when the tagging coin-flip succeeds.
+        """
+        attributes: dict = {
+            AttributeKeys.SUBMIT_INTERFACE: SubmissionInterface.GATEWAY.value,
+            AttributeKeys.GATEWAY_NAME: self.name,
+        }
+        tagged = bool(self.rng.random() < self.tagging_coverage)
+        if tagged:
+            attributes[AttributeKeys.GATEWAY_USER] = gateway_user
+        if extra_attributes:
+            attributes.update(extra_attributes)
+        job = Job(
+            user=self.community_user,
+            account=self.community_account,
+            cores=cores,
+            walltime=walltime,
+            true_runtime=true_runtime,
+            will_fail=will_fail,
+            attributes=attributes,
+            true_modality=true_modality,
+            true_user=gateway_user,
+        )
+        self.end_users_served.add(gateway_user)
+        self.jobs_submitted += 1
+        if tagged:
+            self.jobs_tagged += 1
+        site.submit(job)
+        return job
+
+    @property
+    def observed_coverage(self) -> float:
+        """Empirical fraction of jobs that carried the end-user attribute."""
+        if self.jobs_submitted == 0:
+            return 0.0
+        return self.jobs_tagged / self.jobs_submitted

@@ -1,0 +1,64 @@
+"""Scheduled maintenance outages.
+
+Production machines take periodic preventive-maintenance (PM) windows — a
+full-machine reservation nobody may use.  Because the reservation is laid
+down in advance, the scheduler drains toward it naturally (no job whose
+walltime crosses the window is started), exactly like real PM drains.
+"""
+
+from __future__ import annotations
+
+from repro.infra.scheduler.base import BatchScheduler, Reservation
+from repro.infra.units import DAY, WEEK
+from repro.sim import Simulator
+
+__all__ = ["MaintenanceSchedule"]
+
+
+class MaintenanceSchedule:
+    """Recurring full-machine PM windows on one scheduler.
+
+    ``period`` between window starts, ``duration`` of each window,
+    ``first`` the start of the first window, ``lead`` how far in advance the
+    reservation is announced (users see the drain coming).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: BatchScheduler,
+        period: float = 4 * WEEK,
+        duration: float = 8 * 3600.0,
+        first: float = 2 * WEEK,
+        lead: float = 3 * DAY,
+    ) -> None:
+        if duration <= 0 or period <= 0 or duration > period:
+            raise ValueError("need 0 < duration <= period")
+        if lead < 0:
+            raise ValueError("lead must be >= 0")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.period = period
+        self.duration = duration
+        self.lead = lead
+        self.windows_taken = 0
+        sim.process(self._cycle(sim, first), name="maintenance")
+
+    def _cycle(self, sim: Simulator, first: float):
+        next_start = first
+        while True:
+            announce_at = max(next_start - self.lead, sim.now)
+            if announce_at > sim.now:
+                yield sim.timeout(announce_at - sim.now)
+            self.scheduler.add_reservation(
+                Reservation(
+                    start=next_start,
+                    end=next_start + self.duration,
+                    nodes=self.scheduler.cluster.nodes,
+                    access=None,  # nobody runs during PM
+                    label=f"maintenance-{self.windows_taken + 1}",
+                )
+            )
+            self.windows_taken += 1
+            yield sim.timeout(next_start + self.duration - sim.now)
+            next_start += self.period

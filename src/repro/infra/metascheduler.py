@@ -1,0 +1,103 @@
+"""Cross-site resource selection (the "which machine?" decision).
+
+TeraGrid offered users tools to pick a machine for minimum time-to-start
+(Yoshimoto & Sivagnanam, *TeraGrid resource selection tools*).  The
+metascheduler implements the strategies compared in experiment F5:
+
+* ``RANDOM`` — uniform choice (the null strategy);
+* ``ROUND_ROBIN`` — rotate through sites;
+* ``LEAST_LOADED`` — minimize queued work per node, *as published by the
+  information service* (so staleness hurts);
+* ``PREDICTED_START`` — probe each site's scheduler for the job's earliest
+  feasible start (a fresh reservation-style probe, the strongest tool).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.infra.infoservice import InformationService
+from repro.infra.job import Job
+from repro.infra.site import ResourceProvider
+
+__all__ = ["Metascheduler", "SelectionStrategy"]
+
+
+class SelectionStrategy(enum.Enum):
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    LEAST_LOADED = "least_loaded"
+    PREDICTED_START = "predicted_start"
+
+
+class Metascheduler:
+    """Selects a site per job and forwards the submission."""
+
+    def __init__(
+        self,
+        providers: Sequence[ResourceProvider],
+        strategy: SelectionStrategy,
+        rng: Optional[np.random.Generator] = None,
+        info_service: Optional[InformationService] = None,
+    ) -> None:
+        self.providers = list(providers)
+        if not self.providers:
+            raise ValueError("metascheduler needs at least one provider")
+        self.strategy = strategy
+        self.rng = rng
+        self.info_service = info_service
+        self._rr = itertools.cycle(range(len(self.providers)))
+        self.selections: dict[str, int] = {}
+        if strategy is SelectionStrategy.RANDOM and rng is None:
+            raise ValueError("RANDOM strategy requires an rng")
+        if strategy is SelectionStrategy.LEAST_LOADED and info_service is None:
+            raise ValueError("LEAST_LOADED strategy requires an info service")
+
+    # -- selection ----------------------------------------------------------
+    def _eligible(self, job: Job) -> list[ResourceProvider]:
+        fits = [
+            p for p in self.providers if job.cores <= p.cluster.total_cores
+        ]
+        if not fits:
+            raise ValueError(
+                f"job {job.job_id} ({job.cores} cores) fits on no site"
+            )
+        return fits
+
+    def select(self, job: Job) -> ResourceProvider:
+        """Choose the site for ``job`` under the configured strategy."""
+        eligible = self._eligible(job)
+        if self.strategy is SelectionStrategy.RANDOM:
+            assert self.rng is not None
+            choice = eligible[int(self.rng.integers(len(eligible)))]
+        elif self.strategy is SelectionStrategy.ROUND_ROBIN:
+            while True:
+                candidate = self.providers[next(self._rr)]
+                if candidate in eligible:
+                    choice = candidate
+                    break
+        elif self.strategy is SelectionStrategy.LEAST_LOADED:
+            assert self.info_service is not None
+            def load(provider: ResourceProvider) -> float:
+                snap = self.info_service.query(provider.name)
+                return snap["pending_node_seconds"] / snap["total_nodes"]
+            choice = min(eligible, key=lambda p: (load(p), p.name))
+        elif self.strategy is SelectionStrategy.PREDICTED_START:
+            choice = min(
+                eligible,
+                key=lambda p: (p.scheduler.earliest_start(job), p.name),
+            )
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(self.strategy)
+        self.selections[choice.name] = self.selections.get(choice.name, 0) + 1
+        return choice
+
+    def submit(self, job: Job) -> ResourceProvider:
+        """Select a site and submit; returns the chosen provider."""
+        provider = self.select(job)
+        provider.submit(job)
+        return provider

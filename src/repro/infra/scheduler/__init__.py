@@ -1,0 +1,30 @@
+"""Batch scheduling policies for resource-provider clusters.
+
+* :class:`~repro.infra.scheduler.fcfs.FcfsScheduler` — strict first-come
+  first-served.
+* :class:`~repro.infra.scheduler.backfill.EasyBackfillScheduler` — EASY
+  backfilling: the queue head gets a reservation at its earliest feasible
+  start; later jobs may jump ahead only if they cannot delay it.
+* :class:`~repro.infra.scheduler.fairshare.FairshareScheduler` — EASY with a
+  decayed-usage priority order instead of FIFO.
+* :class:`~repro.infra.scheduler.drain.WeeklyDrainScheduler` — EASY plus a
+  periodic full-machine drain window reserved for capability ("hero") jobs,
+  the policy NICS ran on Kraken.
+"""
+
+from repro.infra.scheduler.base import BatchScheduler, Reservation
+from repro.infra.scheduler.profile import CapacityProfile
+from repro.infra.scheduler.fcfs import FcfsScheduler
+from repro.infra.scheduler.backfill import EasyBackfillScheduler
+from repro.infra.scheduler.fairshare import FairshareScheduler
+from repro.infra.scheduler.drain import WeeklyDrainScheduler
+
+__all__ = [
+    "BatchScheduler",
+    "CapacityProfile",
+    "EasyBackfillScheduler",
+    "FairshareScheduler",
+    "FcfsScheduler",
+    "Reservation",
+    "WeeklyDrainScheduler",
+]

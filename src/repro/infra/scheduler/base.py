@@ -1,0 +1,354 @@
+"""Common machinery shared by all batch scheduling policies."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.infra.cluster import Cluster
+from repro.infra.job import Job, JobState
+from repro.infra.scheduler.profile import CapacityProfile
+from repro.sim import Interrupt, Simulator
+from repro.sim.process import Process
+
+__all__ = ["BatchScheduler", "Reservation", "RunningJob"]
+
+_reservation_ids = itertools.count(1)
+
+
+@dataclass
+class Reservation:
+    """An advance reservation of ``nodes`` over ``[start, end)``.
+
+    ``access`` decides which jobs may start inside the reserved window; jobs
+    that do not satisfy it see the reserved nodes as busy.  ``None`` means
+    nobody may use them (a pure drain).
+    """
+
+    start: float
+    end: float
+    nodes: int
+    access: Optional[Callable[[Job], bool]] = None
+    label: str = ""
+    reservation_id: int = field(default_factory=lambda: next(_reservation_ids))
+
+    def admits(self, job: Job) -> bool:
+        return self.access is not None and self.access(job)
+
+
+@dataclass
+class RunningJob:
+    """Bookkeeping for a job currently occupying nodes."""
+
+    job: Job
+    nodes: int
+    end_estimate: float  # start + requested walltime (scheduler's bound)
+    runner: Process
+
+
+class BatchScheduler:
+    """Base class: queue/running-set bookkeeping, start/finish mechanics.
+
+    Subclasses implement :meth:`_schedule_pass`, called whenever the state
+    changes (submission, completion, cancellation, reservation edge).
+
+    ``on_job_end`` is invoked with each job reaching a terminal state; the
+    owning :class:`~repro.infra.site.ResourceProvider` uses it to charge the
+    allocation and emit the usage record.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        on_job_end: Optional[Callable[[Job], None]] = None,
+        max_eligible_per_user: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.on_job_end = on_job_end
+        #: per-user scheduling-eligibility cap (Moab MAXIJOB-style): a user's
+        #: queued jobs beyond this limit are held invisible to the policy
+        #: until earlier ones start. None = unlimited.
+        self.max_eligible_per_user = max_eligible_per_user
+        self.queue: list[Job] = []
+        self.running: dict[int, RunningJob] = {}
+        self.reservations: list[Reservation] = []
+        self.free_nodes = cluster.nodes
+        self.completed: list[Job] = []
+        self._seq = itertools.count()
+        self._arrival_order: dict[int, int] = {}
+        self._completions: dict[int, object] = {}
+        self._starts: dict[int, object] = {}
+        self._next_wake: Optional[float] = None
+        self._wake_epoch = 0
+
+    # -- public interface ---------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Enqueue ``job`` and immediately attempt a scheduling pass."""
+        if job.state is not JobState.CREATED:
+            raise ValueError(f"job {job.job_id} was already submitted")
+        if job.cores > self.cluster.total_cores:
+            raise ValueError(
+                f"job {job.job_id} requests {job.cores} cores; "
+                f"{self.cluster.name} has {self.cluster.total_cores}"
+            )
+        job.state = JobState.PENDING
+        job.submit_time = self.sim.now
+        job.resource = self.cluster.name
+        self._completions[job.job_id] = self.sim.event()
+        self._starts[job.job_id] = self.sim.event()
+        self.queue.append(job)
+        self._arrival_order[job.job_id] = next(self._seq)
+        self._schedule_pass()
+        return job
+
+    def wait_for(self, job: Job):
+        """Event that triggers with ``job`` when it reaches a terminal state."""
+        try:
+            return self._completions[job.job_id]
+        except KeyError:
+            raise KeyError(
+                f"job {job.job_id} was not submitted to this scheduler"
+            ) from None
+
+    def wait_for_start(self, job: Job):
+        """Event that triggers with ``job`` when it begins running.
+
+        A job cancelled while pending never starts; its start event triggers
+        with ``None`` so waiters are always released.
+        """
+        try:
+            return self._starts[job.job_id]
+        except KeyError:
+            raise KeyError(
+                f"job {job.job_id} was not submitted to this scheduler"
+            ) from None
+
+    def cancel(self, job: Job) -> None:
+        """Remove a pending job, or kill a running one."""
+        if job.state is JobState.PENDING:
+            self.queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.end_time = self.sim.now
+            self._emit_end(job)
+            self._schedule_pass()
+        elif job.state is JobState.RUNNING:
+            self.running[job.job_id].runner.interrupt("cancelled")
+        elif job.state.is_terminal:
+            pass  # cancelling a finished job is a harmless race
+        else:
+            raise ValueError(f"cannot cancel job in state {job.state}")
+
+    def add_reservation(self, reservation: Reservation) -> Reservation:
+        """Register an advance reservation and re-run scheduling at its edges."""
+        if reservation.end <= reservation.start:
+            raise ValueError("reservation end must be after start")
+        if reservation.nodes > self.cluster.nodes:
+            raise ValueError("reservation exceeds machine size")
+        self.reservations.append(reservation)
+
+        def edge_watcher(sim, reservation):
+            # Wake the scheduler when the window opens and when it closes.
+            if reservation.start > sim.now:
+                yield sim.timeout(reservation.start - sim.now)
+                self._schedule_pass()
+            if reservation.end > sim.now:
+                yield sim.timeout(reservation.end - sim.now)
+                self._drop_reservation(reservation)
+                self._schedule_pass()
+
+        self.sim.process(
+            edge_watcher(self.sim, reservation),
+            name=f"reservation-{reservation.reservation_id}",
+        )
+        self._schedule_pass()
+        return reservation
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    @property
+    def busy_nodes(self) -> int:
+        return self.cluster.nodes - self.free_nodes
+
+    def pending_node_seconds(self) -> float:
+        """Total outstanding work in the queue (nodes x requested walltime)."""
+        return sum(
+            self.cluster.nodes_for(job.cores) * job.walltime for job in self.queue
+        )
+
+    def utilization_snapshot(self) -> float:
+        """Fraction of nodes busy right now."""
+        return self.busy_nodes / self.cluster.nodes
+
+    # -- policy hook ------------------------------------------------------------
+    def _schedule_pass(self) -> None:
+        """Run the policy, then arm a timer for time-blocked heads.
+
+        Completions and submissions trigger passes naturally; a head blocked
+        purely by *time* (a ``not_before`` constraint, or waiting out a
+        reservation on an otherwise idle machine) needs an explicit wake-up.
+        """
+        self._policy_pass()
+        self._arm_head_wakeup()
+
+    def _policy_pass(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _head_wake_time(self, head: Job) -> float:
+        """When a time-blocked head should next be reconsidered."""
+        return self.earliest_start(head)
+
+    def _arm_head_wakeup(self) -> None:
+        order = self._ordered_queue()
+        if not order:
+            return
+        head = order[0]
+        wake_at = self._head_wake_time(head)
+        if wake_at <= self.sim.now + 1e-9:
+            return
+        if self._next_wake is not None and wake_at >= self._next_wake - 1e-9:
+            return  # an equal-or-earlier wake-up is already armed
+        self._next_wake = wake_at
+        self._wake_epoch += 1
+        epoch = self._wake_epoch
+
+        def waker(sim, delay, epoch):
+            yield sim.timeout(delay)
+            if epoch == self._wake_epoch:
+                self._next_wake = None
+                self._schedule_pass()
+
+        self.sim.process(
+            waker(self.sim, wake_at - self.sim.now, epoch), name="sched-wake"
+        )
+
+    def _ordered_queue(self) -> list[Job]:
+        """Queue in service order: higher ``job.priority`` first, then FIFO.
+
+        All jobs default to priority 0, so the default order is pure FIFO;
+        interactive/urgent queues get a boost by setting a higher priority.
+        Policies override for richer orders (e.g. fairshare).  With
+        ``max_eligible_per_user`` set, each user's jobs beyond the cap are
+        dropped from the eligible order (they remain queued).
+        """
+        order = sorted(
+            self.queue,
+            key=lambda job: (-job.priority, self._arrival_order[job.job_id]),
+        )
+        return self._apply_user_cap(order)
+
+    def _apply_user_cap(self, order: list[Job]) -> list[Job]:
+        if self.max_eligible_per_user is None:
+            return order
+        seen: dict[str, int] = {}
+        eligible = []
+        for job in order:
+            count = seen.get(job.user, 0)
+            if count < self.max_eligible_per_user:
+                eligible.append(job)
+                seen[job.user] = count + 1
+        return eligible
+
+    # -- capacity reasoning -------------------------------------------------------
+    def build_profile(
+        self, for_job: Optional[Job] = None, include_running: bool = True
+    ) -> CapacityProfile:
+        """Availability profile as seen by ``for_job``.
+
+        Reservations admitting the job do not count as busy for it; all other
+        reservations and (optionally) running jobs do.
+        """
+        profile = CapacityProfile(self.cluster.nodes, self.sim.now)
+        if include_running:
+            for running in self.running.values():
+                # A running job holds its nodes until its walltime bound at
+                # the latest; the scheduler plans with that bound.
+                profile.add_usage(self.sim.now, running.end_estimate, running.nodes)
+        for reservation in self.reservations:
+            if for_job is not None and reservation.admits(for_job):
+                continue
+            profile.add_usage(reservation.start, reservation.end, reservation.nodes)
+        return profile
+
+    def can_start_now(self, job: Job) -> bool:
+        """Whether ``job`` can start immediately without violating anything."""
+        if job.not_before is not None and self.sim.now < job.not_before - 1e-9:
+            return False
+        nodes = self.cluster.nodes_for(job.cores)
+        if nodes > self.free_nodes:
+            return False
+        profile = self.build_profile(for_job=job)
+        return profile.available_during(self.sim.now, job.walltime) >= nodes
+
+    def earliest_start(self, job: Job, not_before: Optional[float] = None) -> float:
+        """Earliest feasible start time for ``job`` under current knowledge."""
+        nodes = self.cluster.nodes_for(job.cores)
+        floor = not_before
+        if job.not_before is not None:
+            floor = job.not_before if floor is None else max(floor, job.not_before)
+        profile = self.build_profile(for_job=job)
+        return profile.earliest_start(nodes, job.walltime, not_before=floor)
+
+    # -- mechanics ----------------------------------------------------------------
+    def _start(self, job: Job) -> None:
+        nodes = self.cluster.nodes_for(job.cores)
+        assert nodes <= self.free_nodes, "policy started a job without room"
+        self.queue.remove(job)
+        self.free_nodes -= nodes
+        job.state = JobState.RUNNING
+        job.start_time = self.sim.now
+        # Events stay registered after triggering so that wait_for_start /
+        # wait_for work regardless of when the caller asks (a job may start
+        # synchronously inside submit()).
+        start_event = self._starts.get(job.job_id)
+        if start_event is not None:
+            start_event.succeed(job)
+        runner = self.sim.process(
+            self._runner(job, nodes), name=f"job-{job.job_id}"
+        )
+        self.running[job.job_id] = RunningJob(
+            job=job,
+            nodes=nodes,
+            end_estimate=self.sim.now + job.walltime,
+            runner=runner,
+        )
+
+    def _runner(self, job: Job, nodes: int):
+        try:
+            yield self.sim.timeout(job.bounded_runtime)
+            final_state = job.final_state_when_run_to_completion()
+        except Interrupt as interrupt:
+            # A user cancellation and a hardware fault end the job the same
+            # way mechanically, but accounting distinguishes them.
+            if interrupt.cause == "node_failure":
+                final_state = JobState.FAILED
+            else:
+                final_state = JobState.CANCELLED
+        del self.running[job.job_id]
+        self.free_nodes += nodes
+        job.state = final_state
+        job.end_time = self.sim.now
+        self._emit_end(job)
+        self._schedule_pass()
+
+    def _emit_end(self, job: Job) -> None:
+        self.completed.append(job)
+        if self.on_job_end is not None:
+            self.on_job_end(job)
+        start_event = self._starts.get(job.job_id)
+        if start_event is not None and not start_event.triggered:
+            start_event.succeed(None)  # terminal without ever starting
+        completion = self._completions.get(job.job_id)
+        if completion is not None:
+            completion.succeed(job)
+
+    def _drop_reservation(self, reservation: Reservation) -> None:
+        try:
+            self.reservations.remove(reservation)
+        except ValueError:  # pragma: no cover - already expired
+            pass

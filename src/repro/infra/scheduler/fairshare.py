@@ -1,0 +1,72 @@
+"""Fairshare priority on top of EASY backfill.
+
+Queue order is by exponentially-decayed historical usage of each job's user
+(lighter users first), breaking ties by arrival.  This is the Moab/Maui-style
+fairshare that most TeraGrid resource providers layered over backfilling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.infra.cluster import Cluster
+from repro.infra.job import Job
+from repro.infra.scheduler.backfill import EasyBackfillScheduler
+from repro.infra.units import DAY
+from repro.sim import Simulator
+
+__all__ = ["FairshareScheduler"]
+
+
+class FairshareScheduler(EasyBackfillScheduler):
+    """EASY backfill with decayed-usage ordering.
+
+    ``half_life`` controls how fast past usage is forgiven (default 7 days).
+    Usage is accumulated in node-seconds at job end.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        on_job_end: Optional[Callable[[Job], None]] = None,
+        half_life: float = 7 * DAY,
+    ) -> None:
+        super().__init__(sim, cluster, on_job_end=on_job_end)
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        self.half_life = half_life
+        # user -> (decayed usage value, time of last update)
+        self._usage: dict[str, tuple[float, float]] = {}
+
+    # -- usage bookkeeping ---------------------------------------------------
+    def decayed_usage(self, user: str) -> float:
+        """The user's usage score, decayed to the current time."""
+        entry = self._usage.get(user)
+        if entry is None:
+            return 0.0
+        value, stamp = entry
+        age = self.sim.now - stamp
+        return value * math.exp(-math.log(2.0) * age / self.half_life)
+
+    def _charge_usage(self, user: str, node_seconds: float) -> None:
+        current = self.decayed_usage(user)
+        self._usage[user] = (current + node_seconds, self.sim.now)
+
+    def _emit_end(self, job: Job) -> None:
+        if job.start_time is not None and job.end_time is not None:
+            nodes = self.cluster.nodes_for(job.cores)
+            self._charge_usage(job.user, nodes * (job.end_time - job.start_time))
+        super()._emit_end(job)
+
+    # -- ordering ---------------------------------------------------------------
+    def _ordered_queue(self) -> list[Job]:
+        order = sorted(
+            self.queue,
+            key=lambda job: (
+                self.decayed_usage(job.user),
+                self._arrival_order[job.job_id],
+            ),
+        )
+        return self._apply_user_cap(order)

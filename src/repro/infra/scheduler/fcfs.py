@@ -1,0 +1,24 @@
+"""Strict first-come first-served scheduling.
+
+The baseline policy: jobs start in arrival order; if the head does not fit,
+nothing behind it may start.  Simple, starvation-free, and famously wasteful
+for mixed workloads — the backfill comparison in experiment F3 quantifies
+exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.infra.scheduler.base import BatchScheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(BatchScheduler):
+    """Start the queue head whenever it fits; never look past it."""
+
+    def _policy_pass(self) -> None:
+        while self.queue:
+            head = self._ordered_queue()[0]
+            if not self.can_start_now(head):
+                return
+            self._start(head)

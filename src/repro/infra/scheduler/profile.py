@@ -1,0 +1,110 @@
+"""A step-function view of future node availability.
+
+Schedulers reason about the future using the *requested* walltimes of running
+jobs (the only bound a real scheduler has) plus any advance reservations.
+:class:`CapacityProfile` turns those into a piecewise-constant availability
+function supporting the two queries every policy needs: *how many nodes are
+free throughout a window* and *when is the earliest window with enough
+nodes*.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+__all__ = ["CapacityProfile"]
+
+_EPSILON = 1e-9
+
+
+class CapacityProfile:
+    """Node usage over ``[now, inf)`` as a sorted step function.
+
+    Build one per scheduling decision: add each running job and inaccessible
+    reservation with :meth:`add_usage`, then query.  Usage intervals are
+    half-open ``[start, end)``.
+    """
+
+    def __init__(self, total_nodes: int, now: float) -> None:
+        if total_nodes < 1:
+            raise ValueError(f"total_nodes must be >= 1, got {total_nodes}")
+        self.total_nodes = total_nodes
+        self.now = float(now)
+        self._deltas: dict[float, int] = {}
+
+    def add_usage(self, start: float, end: float, nodes: int) -> None:
+        """Mark ``nodes`` as busy during ``[start, end)`` (clipped to now)."""
+        if nodes < 0:
+            raise ValueError(f"nodes must be >= 0, got {nodes}")
+        if nodes == 0 or end <= self.now or end <= start:
+            return
+        start = max(start, self.now)
+        self._deltas[start] = self._deltas.get(start, 0) + nodes
+        self._deltas[end] = self._deltas.get(end, 0) - nodes
+
+    def _steps(self) -> tuple[list[float], list[int]]:
+        """(times, usage) where usage[i] holds on [times[i], times[i+1])."""
+        times = sorted(self._deltas)
+        usage: list[int] = []
+        running = 0
+        for t in times:
+            running += self._deltas[t]
+            usage.append(running)
+        return times, usage
+
+    def available_during(self, start: float, duration: float) -> int:
+        """Minimum free nodes over the window ``[start, start + duration)``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        start = max(start, self.now)
+        end = start + duration
+        times, usage = self._steps()
+        if not times:
+            return self.total_nodes
+        # usage before times[0] is 0; find the step active at `start`
+        peak = 0
+        index = bisect.bisect_right(times, start) - 1
+        if index >= 0:
+            peak = usage[index]
+        for i in range(max(index + 1, 0), len(times)):
+            if times[i] >= end - _EPSILON:
+                break
+            peak = max(peak, usage[i])
+        return self.total_nodes - peak
+
+    def earliest_start(
+        self, nodes: int, duration: float, not_before: float | None = None
+    ) -> float:
+        """Earliest ``t >= not_before`` with ``nodes`` free for ``duration``.
+
+        Always terminates: beyond the last usage event the machine is empty,
+        so a feasible start exists whenever ``nodes <= total_nodes``.
+        """
+        if nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {nodes}")
+        if nodes > self.total_nodes:
+            raise ValueError(
+                f"request for {nodes} nodes exceeds machine size "
+                f"{self.total_nodes}"
+            )
+        floor = self.now if not_before is None else max(not_before, self.now)
+        candidates = [floor] + [t for t in sorted(self._deltas) if t > floor]
+        for candidate in candidates:
+            if self.available_during(candidate, duration) >= nodes:
+                return candidate
+        # Unreachable: the final candidate is past all usage events.
+        raise AssertionError("no feasible start found")  # pragma: no cover
+
+    @classmethod
+    def from_usages(
+        cls,
+        total_nodes: int,
+        now: float,
+        usages: Iterable[tuple[float, float, int]],
+    ) -> "CapacityProfile":
+        """Convenience constructor from ``(start, end, nodes)`` triples."""
+        profile = cls(total_nodes, now)
+        for start, end, nodes in usages:
+            profile.add_usage(start, end, nodes)
+        return profile

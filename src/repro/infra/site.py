@@ -1,0 +1,117 @@
+"""A resource provider: cluster + scheduler + charging + record emission.
+
+:class:`ResourceProvider` is the unit of federation.  It owns a cluster and a
+batch scheduler, charges each terminal job's allocation in normalized units,
+and publishes one usage record per terminal job through its AMIE feed to the
+central accounting database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Type
+
+from repro.infra.accounting import AmieFeed, CentralAccountingDB, UsageRecord
+from repro.infra.allocations import AllocationLedger
+from repro.infra.cluster import Cluster
+from repro.infra.job import Job
+from repro.infra.queues import QueueSet, default_queues
+from repro.infra.scheduler.base import BatchScheduler
+from repro.infra.scheduler.backfill import EasyBackfillScheduler
+from repro.infra.units import HOUR, nu_charge
+from repro.sim import Simulator
+
+__all__ = ["ResourceProvider"]
+
+
+class ResourceProvider:
+    """One TeraGrid site.
+
+    Parameters
+    ----------
+    sim, cluster
+        The simulator and the machine description.
+    ledger
+        Shared allocation ledger (charging target).
+    central
+        Shared central accounting database; records flow there through an
+        AMIE-style batched feed.
+    scheduler_factory
+        Policy class, constructed as ``factory(sim, cluster, on_job_end=...)``.
+    amie_interval
+        Batching interval of the accounting feed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        ledger: AllocationLedger,
+        central: CentralAccountingDB,
+        scheduler_factory: Type[BatchScheduler] | Callable[..., BatchScheduler] = EasyBackfillScheduler,
+        amie_interval: float = 6 * HOUR,
+        queues: Optional[QueueSet] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.ledger = ledger
+        self.queues = queues if queues is not None else default_queues(cluster)
+        self.feed = AmieFeed(sim, central, interval=amie_interval)
+        self.scheduler = scheduler_factory(sim, cluster, on_job_end=self._on_job_end)
+        self.records_emitted = 0
+
+    @property
+    def name(self) -> str:
+        return self.cluster.name
+
+    # -- job intake -----------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Route the job to a queue and submit it to the batch scheduler."""
+        if job.account not in self.ledger:
+            raise KeyError(
+                f"job {job.job_id} charges unknown account {job.account!r}"
+            )
+        if job.user not in self.ledger.get(job.account).users:
+            raise PermissionError(
+                f"user {job.user!r} is not on account {job.account!r}"
+            )
+        queue = self.queues.route(job)
+        job.queue = queue.name
+        job.priority += queue.priority_boost
+        return self.scheduler.submit(job)
+
+    def cancel(self, job: Job) -> None:
+        self.scheduler.cancel(job)
+
+    # -- terminal-job handling ----------------------------------------------------
+    def _on_job_end(self, job: Job) -> None:
+        # Charge for the time actually occupied (zero if never started).
+        if job.start_time is not None and job.end_time is not None:
+            elapsed = job.end_time - job.start_time
+            charge = nu_charge(job.cores, elapsed, self.cluster.nu_per_core_hour)
+            job.charged_nu = self.ledger.charge(job.account, charge)
+        else:
+            job.charged_nu = 0.0
+        queue_name = job.queue or ("interactive" if job.is_interactive else "normal")
+        allocation = self.ledger.get(job.account)
+        self.feed.publish(
+            UsageRecord.from_job(
+                job,
+                queue_name=queue_name,
+                field_of_science=allocation.field_of_science,
+            )
+        )
+        self.records_emitted += 1
+
+    # -- status (consumed by the information service) --------------------------------
+    def status_snapshot(self) -> dict:
+        """A point-in-time description of this site's load."""
+        scheduler = self.scheduler
+        return {
+            "resource": self.name,
+            "time": self.sim.now,
+            "total_nodes": self.cluster.nodes,
+            "free_nodes": scheduler.free_nodes,
+            "running_jobs": len(scheduler.running),
+            "queued_jobs": scheduler.queue_length,
+            "pending_node_seconds": scheduler.pending_node_seconds(),
+        }

@@ -1,0 +1,125 @@
+"""Site storage systems and shared data collections.
+
+Two pieces matter for modality measurement: sites host *data collections*
+(curated datasets, e.g. satellite products or genome banks) whose access is a
+usage channel of its own, and jobs *stage* inputs/outputs across the WAN,
+which is what couples workflow modalities to the network substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.infra.network import Network
+from repro.sim import Simulator
+from repro.sim.process import Event
+
+__all__ = ["StorageSystem", "DataCollection", "StageOperation"]
+
+TB = 1e12
+GB = 1e9
+
+
+@dataclass
+class DataCollection:
+    """A named dataset hosted on a site's storage system."""
+
+    name: str
+    size_bytes: float
+    home_site: str
+    accesses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+
+
+@dataclass
+class StageOperation:
+    """Record of one staging movement (for analysis)."""
+
+    what: str
+    src: str
+    dst: str
+    size_bytes: float
+    started_at: float
+    finished_at: Optional[float] = None
+
+
+class StorageSystem:
+    """A site's disk: finite capacity, hosts collections, stages data.
+
+    Capacity accounting is byte-granular but deliberately coarse: quota
+    pressure is not part of the reproduced experiments; what matters is the
+    data *movement* they generate.
+    """
+
+    def __init__(
+        self, sim: Simulator, site: str, capacity_bytes: float, network: Network
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.sim = sim
+        self.site = site
+        self.capacity_bytes = capacity_bytes
+        self.network = network
+        self.used_bytes = 0.0
+        self.collections: dict[str, DataCollection] = {}
+        self.stage_log: list[StageOperation] = []
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def host_collection(self, collection: DataCollection) -> None:
+        if collection.name in self.collections:
+            raise ValueError(f"duplicate collection {collection.name!r}")
+        if collection.home_site != self.site:
+            raise ValueError(
+                f"collection {collection.name!r} homes at {collection.home_site!r},"
+                f" not {self.site!r}"
+            )
+        self.allocate(collection.size_bytes)
+        self.collections[collection.name] = collection
+
+    def allocate(self, size_bytes: float) -> None:
+        if size_bytes < 0:
+            raise ValueError("size must be >= 0")
+        if size_bytes > self.free_bytes:
+            raise RuntimeError(
+                f"storage at {self.site} full: need {size_bytes:.3g}, "
+                f"free {self.free_bytes:.3g}"
+            )
+        self.used_bytes += size_bytes
+
+    def release(self, size_bytes: float) -> None:
+        self.used_bytes = max(self.used_bytes - size_bytes, 0.0)
+
+    def stage_in(self, what: str, src_site: str, size_bytes: float) -> Event:
+        """Pull ``size_bytes`` from ``src_site`` onto this storage system.
+
+        Returns the network-transfer completion event.  Space is reserved up
+        front; the stage log records the operation.
+        """
+        self.allocate(size_bytes)
+        op = StageOperation(
+            what=what,
+            src=src_site,
+            dst=self.site,
+            size_bytes=size_bytes,
+            started_at=self.sim.now,
+        )
+        self.stage_log.append(op)
+        done = self.network.transfer(src_site, self.site, size_bytes)
+        done._add_callback(lambda _e: setattr(op, "finished_at", self.sim.now))
+        return done
+
+    def access_collection(self, name: str) -> DataCollection:
+        """Record an access to a hosted collection."""
+        try:
+            collection = self.collections[name]
+        except KeyError:
+            raise KeyError(f"no collection {name!r} at {self.site}") from None
+        collection.accesses += 1
+        return collection

@@ -1,0 +1,42 @@
+"""Submission interfaces: how jobs reach a site's batch system.
+
+The paper's instrumentation hinges on the *submission path* being recorded as
+a job attribute.  Direct login submission and GRAM middleware submission are
+modelled here; gateway portal submission lives in
+:mod:`repro.infra.gateway` because gateways add community-account semantics.
+"""
+
+from __future__ import annotations
+
+from repro.infra.job import AttributeKeys, Job, SubmissionInterface
+from repro.infra.site import ResourceProvider
+
+__all__ = ["LoginSubmitter", "GramSubmitter"]
+
+
+class LoginSubmitter:
+    """Direct ``qsub`` from a login node: the classic path."""
+
+    interface = SubmissionInterface.LOGIN
+
+    def submit(self, site: ResourceProvider, job: Job) -> Job:
+        job.attributes[AttributeKeys.SUBMIT_INTERFACE] = self.interface.value
+        return site.submit(job)
+
+
+class GramSubmitter:
+    """Remote submission through grid middleware (GRAM).
+
+    Counts submissions per user, which an information-service consumer could
+    audit; the attribute stamped on the job is what accounting sees.
+    """
+
+    interface = SubmissionInterface.GRAM
+
+    def __init__(self) -> None:
+        self.submissions: dict[str, int] = {}
+
+    def submit(self, site: ResourceProvider, job: Job) -> Job:
+        job.attributes[AttributeKeys.SUBMIT_INTERFACE] = self.interface.value
+        self.submissions[job.user] = self.submissions.get(job.user, 0) + 1
+        return site.submit(job)

@@ -1,0 +1,32 @@
+"""Time and charging units.
+
+Simulated time is in **seconds**.  Usage is charged in **normalized units**
+(NUs), TeraGrid's cross-site currency: local service units (core-hours)
+times a per-resource normalization factor reflecting per-core performance
+relative to a reference system.
+"""
+
+from __future__ import annotations
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+QUARTER = 91 * DAY  # calendar quarter, to the day
+
+#: Normalization of the reference system (1 core-hour -> this many NUs).
+REFERENCE_NU_PER_CORE_HOUR = 1.0
+
+
+def core_hours(cores: int, elapsed_seconds: float) -> float:
+    """Core-hours consumed by ``cores`` over ``elapsed_seconds``."""
+    if cores < 0 or elapsed_seconds < 0:
+        raise ValueError("cores and elapsed_seconds must be non-negative")
+    return cores * elapsed_seconds / HOUR
+
+
+def nu_charge(cores: int, elapsed_seconds: float, nu_per_core_hour: float) -> float:
+    """Normalized units charged for a run on a given resource."""
+    if nu_per_core_hour <= 0:
+        raise ValueError(f"nu_per_core_hour must be positive, got {nu_per_core_hour}")
+    return core_hours(cores, elapsed_seconds) * nu_per_core_hour

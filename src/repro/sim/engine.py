@@ -1,0 +1,155 @@
+"""The simulation engine: clock, event heap and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Event,
+    PRIORITY_NORMAL,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Simulator", "SimulationError", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+class StopSimulation(Exception):
+    """Raise inside a callback/process to stop :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """A discrete-event simulator with a deterministic event order.
+
+    Events scheduled for the same time fire in (priority, FIFO) order, which
+    makes every run fully reproducible for a fixed seed.  Time is a float in
+    arbitrary units; the TeraGrid substrate uses seconds.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event, to be succeeded/failed by user code."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start ``generator`` as a process at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._eid), event))
+
+    # -- run loop ----------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _priority, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+        if not event.ok and not event.defused:
+            raise event.value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event heap is empty;
+        * a number — run until the clock reaches that time (the clock is set
+          to exactly ``until`` on return, even if no event fires then);
+        * an :class:`Event` — run until that event has been processed, and
+          return its value (re-raising its exception on failure).
+        """
+        if until is None:
+            while self._heap:
+                try:
+                    self.step()
+                except StopSimulation:
+                    return None
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            if target.processed:
+                if not target.ok:
+                    raise target.value
+                return target.value
+            # Absorb a failure so step() does not double-raise; run() raises.
+            target._add_callback(lambda e: setattr(e, "defused", True))
+            while self._heap and not target.processed:
+                try:
+                    self.step()
+                except StopSimulation:
+                    return None
+            if not target.processed:
+                raise SimulationError(
+                    "run(until=event) exhausted the event heap before the "
+                    "event triggered"
+                )
+            if not target.ok:
+                raise target.value
+            return target.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            try:
+                self.step()
+            except StopSimulation:
+                return None
+        self._now = horizon
+        return None

@@ -1,0 +1,171 @@
+"""Shared resources for simulation processes: counting resources and stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.process import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Request", "Resource", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Triggers (succeeds) when the claim is granted.  Use as::
+
+        req = resource.request()
+        yield req
+        ...  # holding the resource
+        resource.release(req)
+
+    ``amount`` lets one request claim several units of capacity at once
+    (e.g. cores of a node); the resource grants strictly in queue order, so a
+    large request at the head blocks later small ones (no starvation).
+    """
+
+    __slots__ = ("resource", "amount", "priority", "key")
+
+    def __init__(self, resource: "Resource", amount: int, priority: float) -> None:
+        super().__init__(resource.sim)
+        if amount < 1:
+            raise ValueError(f"request amount must be >= 1, got {amount}")
+        if amount > resource.capacity:
+            raise ValueError(
+                f"request for {amount} exceeds capacity {resource.capacity}"
+            )
+        self.resource = resource
+        self.amount = int(amount)
+        self.priority = priority
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counting resource with ``capacity`` units and a priority queue.
+
+    Lower ``priority`` values are served first; ties are FIFO.  The grant
+    discipline is strict queue order (like a conservative batch queue): the
+    head request must be satisfiable before any later request is considered.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._seq = count()
+        # (priority, seq, request); kept sorted lazily since queues are short
+        self._queue: list[tuple[float, int, Request]] = []
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of ungranted requests."""
+        return len(self._queue)
+
+    # -- operations ----------------------------------------------------------
+    def request(self, amount: int = 1, priority: float = 0.0) -> Request:
+        """Claim ``amount`` units; the returned event triggers when granted."""
+        req = Request(self, amount, priority)
+        self._queue.append((priority, next(self._seq), req))
+        self._queue.sort(key=lambda item: (item[0], item[1]))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the units held by a granted ``request``."""
+        if not request.triggered:
+            raise RuntimeError("release() of an ungranted request; use cancel()")
+        self._in_use -= request.amount
+        if self._in_use < 0:  # pragma: no cover - defensive
+            raise RuntimeError("resource released below zero in-use")
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        for i, (_p, _s, queued) in enumerate(self._queue):
+            if queued is request:
+                del self._queue[i]
+                self._grant()
+                return
+
+    def _grant(self) -> None:
+        while self._queue:
+            _priority, _seq, head = self._queue[0]
+            if head.amount > self.capacity - self._in_use:
+                return
+            self._queue.pop(0)
+            self._in_use += head.amount
+            head.succeed(head)
+
+
+class Store:
+    """An unbounded FIFO buffer of items passed between processes.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item (immediately if one is available).  A ``filter`` predicate on
+    ``get`` retrieves the first matching item instead.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the first compatible waiting getter."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that triggers with the next (matching) item."""
+        event = Event(self.sim)
+        self._getters.append((event, filter))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        # Pair waiting getters with buffered items, in order, until no
+        # getter at the head can be satisfied.
+        progress = True
+        while progress and self._getters and self._items:
+            progress = False
+            for gi, (event, predicate) in enumerate(self._getters):
+                match_index = None
+                for ii, item in enumerate(self._items):
+                    if predicate is None or predicate(item):
+                        match_index = ii
+                        break
+                if match_index is not None:
+                    del self._getters[gi]
+                    item = self._items[match_index]
+                    del self._items[match_index]
+                    event.succeed(item)
+                    progress = True
+                    break

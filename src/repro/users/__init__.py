@@ -1,0 +1,24 @@
+"""The synthetic user community.
+
+Users are the ground truth of this reproduction: each simulated user has a
+field of science, an allocation, a home site and a *modality profile* that
+drives a behaviour process.  The measurement system then tries to recover
+those modalities from the accounting stream alone.
+"""
+
+from repro.users.fields import FIELDS_OF_SCIENCE, sample_field
+from repro.users.profiles import BehaviorProfile, DEFAULT_PROFILES
+from repro.users.population import Population, PopulationSpec, User, build_population
+from repro.users.behavior import start_behaviors
+
+__all__ = [
+    "BehaviorProfile",
+    "DEFAULT_PROFILES",
+    "FIELDS_OF_SCIENCE",
+    "Population",
+    "PopulationSpec",
+    "User",
+    "build_population",
+    "sample_field",
+    "start_behaviors",
+]

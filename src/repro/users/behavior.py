@@ -1,0 +1,375 @@
+"""Behaviour processes: one simulation process per user, per modality.
+
+Each process loops forever (the harness bounds the run with a horizon):
+think for an exponential while, then perform one *session* of the user's
+modality.  All stochastic draws come from a per-user named stream, so adding
+users or modalities never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.modalities import Modality
+from repro.infra.coalloc import CoAllocator
+from repro.infra.gateway import ScienceGateway
+from repro.infra.job import AttributeKeys, Job
+from repro.infra.metascheduler import Metascheduler
+from repro.infra.site import ResourceProvider
+from repro.infra.submission import GramSubmitter, LoginSubmitter
+from repro.infra.workflow import TaskGraph, WorkflowEngine
+from repro.sim import AllOf, AnyOf, RandomStreams, Simulator
+from repro.sim.distributions import bounded_lognormal, log2_cores
+from repro.users.population import Population, User
+from repro.users.profiles import DEFAULT_PROFILES, BehaviorProfile
+
+__all__ = ["SimulationContext", "start_behaviors", "sample_job"]
+
+_ensemble_ids = itertools.count(1)
+
+
+@dataclass
+class SimulationContext:
+    """Everything behaviour processes need to act on the federation."""
+
+    sim: Simulator
+    streams: RandomStreams
+    providers: list[ResourceProvider]
+    metascheduler: Metascheduler
+    gateways: dict[str, ScienceGateway]
+    workflow_engine: WorkflowEngine
+    coallocator: CoAllocator
+    login: LoginSubmitter = dataclass_field(default_factory=LoginSubmitter)
+    gram: GramSubmitter = dataclass_field(default_factory=GramSubmitter)
+    #: fraction of CLI submissions that go through GRAM middleware
+    gram_fraction: float = 0.15
+    #: fraction of batch sessions sent somewhere other than the home site
+    roaming_fraction: float = 0.15
+    #: gateway end users become active uniformly over this many seconds
+    #: (0 = everyone active from the start); models gateway adoption growth
+    gateway_adoption_ramp: float = 0.0
+    #: fraction of a batch user's sessions that are porting/testing work
+    batch_porting_session_prob: float = 0.12
+    #: WAN used for input staging (None disables data movement modeling)
+    network: Optional["object"] = None
+
+    def provider(self, name: str) -> ResourceProvider:
+        for provider in self.providers:
+            if provider.name == name:
+                return provider
+        raise KeyError(f"unknown provider {name!r}")
+
+
+def sample_job(
+    rng: np.random.Generator,
+    profile: BehaviorProfile,
+    user: User,
+    max_cores_cap: Optional[int] = None,
+    attributes: Optional[dict] = None,
+    priority: float = 0.0,
+) -> Job:
+    """Draw one job from a profile (cores, runtime, walltime, failure)."""
+    cores_cap = profile.max_cores
+    if max_cores_cap is not None:
+        cores_cap = min(cores_cap, max_cores_cap)
+    cores = log2_cores(
+        rng,
+        profile.min_cores,
+        max(cores_cap, profile.min_cores),
+        profile.mean_log2_cores,
+        profile.sigma_log2_cores,
+    )
+    runtime = bounded_lognormal(
+        rng,
+        profile.runtime_median,
+        profile.runtime_sigma,
+        profile.runtime_min,
+        profile.runtime_max,
+    )
+    will_fail = bool(rng.random() < profile.failure_prob)
+    if will_fail:
+        # Failures happen early in the run.
+        runtime *= float(rng.uniform(0.02, 0.5))
+        runtime = max(runtime, 10.0)
+    if rng.random() < profile.underestimate_prob:
+        walltime = runtime * float(rng.uniform(0.5, 0.95))
+    else:
+        walltime = runtime * profile.walltime_pad
+    return Job(
+        user=user.user_id,
+        account=user.account,
+        cores=cores,
+        walltime=max(walltime, 60.0),
+        true_runtime=runtime,
+        will_fail=will_fail,
+        priority=priority,
+        attributes=dict(attributes or {}),
+        true_modality=profile.modality.value,
+        true_user=user.user_id,
+    )
+
+
+def _think(ctx: SimulationContext, rng: np.random.Generator, mean: float):
+    return ctx.sim.timeout(float(rng.exponential(mean)))
+
+
+def _submit_cli(ctx: SimulationContext, rng, site: ResourceProvider, job: Job):
+    """Submit via login node or (sometimes) GRAM middleware."""
+    if rng.random() < ctx.gram_fraction:
+        ctx.gram.submit(site, job)
+    else:
+        ctx.login.submit(site, job)
+
+
+def _session_site(ctx: SimulationContext, rng, user: User) -> ResourceProvider:
+    """The user's home site, or occasionally somewhere else entirely."""
+    home = ctx.provider(user.home_site)
+    if len(ctx.providers) > 1 and rng.random() < ctx.roaming_fraction:
+        others = [p for p in ctx.providers if p.name != user.home_site]
+        return others[int(rng.integers(len(others)))]
+    return home
+
+
+def _stage_inputs(ctx: SimulationContext, rng, user: User,
+                  site: ResourceProvider, modality: Modality):
+    """Move the session's input data to ``site`` if it lives elsewhere.
+
+    Input sizes are heavy-tailed (tens of GB median); same-site sessions pay
+    only a local copy.  Returns the transfer event, or None when no network
+    is modelled.
+    """
+    if ctx.network is None:
+        return None
+    from repro.sim.distributions import bounded_lognormal
+
+    size = bounded_lognormal(rng, 2e10, 1.5, 1e8, 2e12)
+    return ctx.network.transfer(
+        user.home_site, site.name, size, tag=modality.value
+    )
+
+
+# ---------------------------------------------------------------- behaviours
+
+
+def batch_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Production campaigns: a few hours-long jobs per session, wait, repeat.
+
+    Real production users are not pure: a fraction of their sessions is
+    porting/testing work (new code version, new machine).  Those sessions
+    use the exploratory profile and carry exploratory ground truth, which is
+    what makes the residual batch/exploratory split genuinely fallible for
+    the classifier (it labels a user's residual jobs as a block).
+    """
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    porting_profile = DEFAULT_PROFILES[Modality.EXPLORATORY]
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        site = _session_site(ctx, rng, user)
+        stage = _stage_inputs(ctx, rng, user, site, Modality.BATCH)
+        if stage is not None:
+            yield stage
+        if rng.random() < ctx.batch_porting_session_prob:
+            for _ in range(int(rng.integers(1, 5))):
+                job = sample_job(
+                    rng,
+                    porting_profile,
+                    user,
+                    max_cores_cap=site.cluster.total_cores,
+                )
+                _submit_cli(ctx, rng, site, job)
+                yield site.scheduler.wait_for(job)
+                yield ctx.sim.timeout(float(rng.uniform(60.0, 600.0)))
+            continue
+        lo, hi = profile.jobs_per_session
+        n_jobs = int(rng.integers(lo, hi + 1))
+        waits = []
+        for _ in range(n_jobs):
+            job = sample_job(
+                rng, profile, user, max_cores_cap=site.cluster.total_cores
+            )
+            _submit_cli(ctx, rng, site, job)
+            waits.append(site.scheduler.wait_for(job))
+        yield AllOf(ctx.sim, waits)
+
+
+def exploratory_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Porting: sequential edit-compile-submit loops of tiny failing jobs."""
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        site = ctx.provider(user.home_site)  # porting sticks to one machine
+        lo, hi = profile.jobs_per_session
+        for _ in range(int(rng.integers(lo, hi + 1))):
+            job = sample_job(
+                rng, profile, user, max_cores_cap=site.cluster.total_cores
+            )
+            _submit_cli(ctx, rng, site, job)
+            yield site.scheduler.wait_for(job)
+            # look at the output, tweak, resubmit
+            yield ctx.sim.timeout(float(rng.uniform(60.0, 600.0)))
+
+
+def gateway_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Portal sessions: the gateway submits on the user's behalf."""
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    assert user.gateway is not None
+    gateway = ctx.gateways[user.gateway]
+    if ctx.gateway_adoption_ramp > 0:
+        # This user discovers the gateway partway through the campaign.
+        yield ctx.sim.timeout(float(rng.uniform(0, ctx.gateway_adoption_ramp)))
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        site = _session_site(ctx, rng, user)
+        lo, hi = profile.jobs_per_session
+        waits = []
+        for _ in range(int(rng.integers(lo, hi + 1))):
+            spec = sample_job(
+                rng, profile, user, max_cores_cap=site.cluster.total_cores
+            )
+            job = gateway.submit(
+                site,
+                gateway_user=user.user_id,
+                cores=spec.cores,
+                walltime=spec.walltime,
+                true_runtime=spec.true_runtime,
+                will_fail=spec.will_fail,
+                true_modality=profile.modality.value,
+            )
+            waits.append(site.scheduler.wait_for(job))
+        yield AllOf(ctx.sim, waits)
+
+
+def ensemble_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Sweeps: either a DAG through the workflow engine or a raw burst."""
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        width = int(rng.integers(profile.sweep_width[0], profile.sweep_width[1] + 1))
+        template = sample_job(rng, profile, user)
+        if rng.random() < profile.workflow_prob:
+            graph = TaskGraph.parameter_sweep(
+                f"{user.user_id}-sweep",
+                width=width,
+                cores=template.cores,
+                walltime=template.walltime,
+                true_runtime=template.true_runtime,
+                output_bytes=1e8,
+            )
+            proc = ctx.workflow_engine.run(
+                graph,
+                user=user.user_id,
+                account=user.account,
+                true_modality=profile.modality.value,
+            )
+            yield proc
+        else:
+            site = _session_site(ctx, rng, user)
+            ensemble_id = f"ens-{next(_ensemble_ids)}"
+            waits = []
+            for _ in range(width):
+                job = sample_job(
+                    rng,
+                    profile,
+                    user,
+                    max_cores_cap=site.cluster.total_cores,
+                    attributes={AttributeKeys.ENSEMBLE_ID: ensemble_id},
+                )
+                # Sweep members share the template's size (that is what
+                # makes it a sweep) but keep their own runtimes.
+                job.cores = min(template.cores, site.cluster.total_cores)
+                _submit_cli(ctx, rng, site, job)
+                waits.append(site.scheduler.wait_for(job))
+                yield ctx.sim.timeout(float(rng.uniform(5.0, 60.0)))
+            yield AllOf(ctx.sim, waits)
+
+
+def viz_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Interactive sessions: needed now; cancelled if the queue is slow."""
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        site = ctx.provider(user.home_site)
+        job = sample_job(
+            rng,
+            profile,
+            user,
+            max_cores_cap=site.cluster.total_cores,
+            attributes={AttributeKeys.INTERACTIVE: True},
+            priority=100.0,  # interactive queues boost priority
+        )
+        _submit_cli(ctx, rng, site, job)
+        completion = site.scheduler.wait_for(job)
+        patience = ctx.sim.timeout(profile.patience)
+        yield AnyOf(ctx.sim, [completion, patience])
+        if job.start_time is None and not job.state.is_terminal:
+            # Queue too slow for an attended session: walk away.
+            site.cancel(job)
+        yield completion
+
+
+def coupled_user(ctx: SimulationContext, user: User, profile: BehaviorProfile):
+    """Rare co-allocated runs across the largest machines."""
+    rng = ctx.streams.stream(f"user:{user.user_id}")
+    while True:
+        yield _think(ctx, rng, profile.think_time_mean)
+        n_sites = int(rng.integers(profile.n_sites[0], profile.n_sites[1] + 1))
+        n_sites = min(n_sites, len(ctx.providers))
+        if n_sites < 2:
+            continue  # cannot couple on a single-site federation
+        ranked = sorted(
+            ctx.providers, key=lambda p: -p.cluster.total_cores
+        )[:n_sites]
+        # Every part needs the input data set on its local filesystem.
+        stages = [
+            _stage_inputs(ctx, rng, user, site, Modality.COUPLED)
+            for site in ranked
+        ]
+        stages = [s for s in stages if s is not None]
+        if stages:
+            yield AllOf(ctx.sim, stages)
+        template = sample_job(rng, profile, user)
+        parts = [
+            (site, min(template.cores, site.cluster.total_cores))
+            for site in ranked
+        ]
+        proc = ctx.coallocator.launch(
+            user=user.user_id,
+            account=user.account,
+            parts=parts,
+            walltime=template.walltime,
+            single_site_runtime=template.true_runtime,
+            true_modality=profile.modality.value,
+        )
+        yield proc
+
+
+_BEHAVIORS = {
+    Modality.BATCH: batch_user,
+    Modality.EXPLORATORY: exploratory_user,
+    Modality.GATEWAY: gateway_user,
+    Modality.ENSEMBLE: ensemble_user,
+    Modality.VIZ: viz_user,
+    Modality.COUPLED: coupled_user,
+}
+
+
+def start_behaviors(
+    ctx: SimulationContext,
+    population: Population,
+    profiles: Optional[dict[Modality, BehaviorProfile]] = None,
+) -> int:
+    """Spawn one behaviour process per user; returns how many were started."""
+    profiles = profiles or DEFAULT_PROFILES
+    started = 0
+    for user in population.users:
+        behavior = _BEHAVIORS[user.modality]
+        ctx.sim.process(
+            behavior(ctx, user, profiles[user.modality]),
+            name=f"{user.modality.value}:{user.user_id}",
+        )
+        started += 1
+    return started

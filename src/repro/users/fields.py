@@ -1,0 +1,46 @@
+"""Fields of science and their relative community sizes.
+
+Weights approximate the 2010 TeraGrid allocation distribution: molecular
+biosciences, physics and astronomy dominated usage, with a long tail of
+smaller disciplines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FIELDS_OF_SCIENCE", "FIELD_WEIGHTS", "sample_field"]
+
+FIELDS_OF_SCIENCE: tuple[str, ...] = (
+    "Molecular Biosciences",
+    "Physics",
+    "Astronomical Sciences",
+    "Chemistry",
+    "Materials Research",
+    "Atmospheric Sciences",
+    "Earth Sciences",
+    "Engineering",
+    "Computer Science",
+    "Social and Economic Sciences",
+)
+
+FIELD_WEIGHTS: tuple[float, ...] = (
+    0.22,
+    0.18,
+    0.13,
+    0.12,
+    0.10,
+    0.08,
+    0.06,
+    0.06,
+    0.03,
+    0.02,
+)
+
+assert abs(sum(FIELD_WEIGHTS) - 1.0) < 1e-9
+
+
+def sample_field(rng: np.random.Generator) -> str:
+    """Draw a field of science from the community distribution."""
+    index = rng.choice(len(FIELDS_OF_SCIENCE), p=FIELD_WEIGHTS)
+    return FIELDS_OF_SCIENCE[index]

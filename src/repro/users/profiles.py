@@ -1,0 +1,176 @@
+"""Behavioural parameter sets, one per modality.
+
+Every quantity a behaviour process samples comes from here, so profiles are
+the single calibration surface of the workload model.  Magnitudes follow the
+parallel-workload literature (Lublin–Feitelson runtimes/sizes, heavy think
+times) specialized per modality as described in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modalities import Modality
+from repro.infra.units import DAY, HOUR, MINUTE
+
+__all__ = ["BehaviorProfile", "DEFAULT_PROFILES"]
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Parameters of one modality's behaviour process.
+
+    Time units are seconds; core counts are sampled as power-of-two-leaning
+    (``log2`` normal) within ``[min_cores, max_cores]``.
+    """
+
+    modality: Modality
+    #: mean time between activity sessions (exponential)
+    think_time_mean: float
+    #: session size range (uniform inclusive)
+    jobs_per_session: tuple[int, int]
+    #: core-count sampling: min, max, mean of log2, sigma of log2
+    min_cores: int
+    max_cores: int
+    mean_log2_cores: float
+    sigma_log2_cores: float
+    #: runtime sampling (bounded lognormal)
+    runtime_median: float
+    runtime_sigma: float
+    runtime_min: float
+    runtime_max: float
+    #: requested walltime = runtime estimate x pad (users over-request)
+    walltime_pad: float
+    #: probability a job fails early (application error)
+    failure_prob: float
+    #: probability the user underestimates the walltime (job gets killed)
+    underestimate_prob: float = 0.03
+    #: viz only: patience before cancelling an unstarted interactive session
+    patience: float = 20 * MINUTE
+    #: ensemble only: sweep width range
+    sweep_width: tuple[int, int] = (8, 40)
+    #: ensemble only: probability a sweep runs through the workflow engine
+    workflow_prob: float = 0.5
+    #: coupled only: number of sites spanned
+    n_sites: tuple[int, int] = (2, 3)
+
+    def __post_init__(self) -> None:
+        if self.think_time_mean <= 0:
+            raise ValueError("think_time_mean must be positive")
+        lo, hi = self.jobs_per_session
+        if not (1 <= lo <= hi):
+            raise ValueError("jobs_per_session must satisfy 1 <= lo <= hi")
+        if not (1 <= self.min_cores <= self.max_cores):
+            raise ValueError("need 1 <= min_cores <= max_cores")
+        if not (0 < self.runtime_min <= self.runtime_median <= self.runtime_max):
+            raise ValueError("need 0 < runtime_min <= median <= runtime_max")
+        if self.walltime_pad < 1.0:
+            raise ValueError("walltime_pad must be >= 1")
+        if not (0.0 <= self.failure_prob <= 1.0):
+            raise ValueError("failure_prob must be in [0, 1]")
+
+
+DEFAULT_PROFILES: dict[Modality, BehaviorProfile] = {
+    # The workhorse: production simulation campaigns. Hours-long, mid-size,
+    # reliable; a couple of jobs at a time, every day or two.
+    Modality.BATCH: BehaviorProfile(
+        modality=Modality.BATCH,
+        think_time_mean=1.5 * DAY,
+        jobs_per_session=(1, 3),
+        min_cores=8,
+        max_cores=1024,
+        mean_log2_cores=6.0,
+        sigma_log2_cores=1.5,
+        runtime_median=4 * HOUR,
+        runtime_sigma=1.0,
+        runtime_min=10 * MINUTE,
+        runtime_max=24 * HOUR,
+        walltime_pad=2.0,
+        failure_prob=0.05,
+    ),
+    # Porting and testing: bursts of tiny, short, failure-prone jobs.
+    Modality.EXPLORATORY: BehaviorProfile(
+        modality=Modality.EXPLORATORY,
+        think_time_mean=8 * HOUR,
+        jobs_per_session=(3, 10),
+        min_cores=1,
+        max_cores=32,
+        mean_log2_cores=1.0,
+        sigma_log2_cores=1.0,
+        runtime_median=8 * MINUTE,
+        runtime_sigma=1.2,
+        runtime_min=30.0,
+        runtime_max=2 * HOUR,
+        walltime_pad=4.0,
+        failure_prob=0.35,
+        underestimate_prob=0.10,
+    ),
+    # A gateway end user: occasional small short runs through a portal.
+    Modality.GATEWAY: BehaviorProfile(
+        modality=Modality.GATEWAY,
+        think_time_mean=5 * DAY,
+        jobs_per_session=(1, 6),
+        min_cores=1,
+        max_cores=16,
+        mean_log2_cores=1.0,
+        sigma_log2_cores=1.0,
+        runtime_median=15 * MINUTE,
+        runtime_sigma=1.0,
+        runtime_min=60.0,
+        runtime_max=4 * HOUR,
+        walltime_pad=3.0,
+        failure_prob=0.08,
+    ),
+    # Parameter sweeps / workflows: wide bursts of similar mid-small jobs.
+    Modality.ENSEMBLE: BehaviorProfile(
+        modality=Modality.ENSEMBLE,
+        think_time_mean=3 * DAY,
+        jobs_per_session=(1, 1),  # one sweep per session
+        min_cores=4,
+        max_cores=64,
+        mean_log2_cores=4.0,
+        sigma_log2_cores=0.8,
+        runtime_median=1 * HOUR,
+        runtime_sigma=0.7,
+        runtime_min=5 * MINUTE,
+        runtime_max=6 * HOUR,
+        walltime_pad=2.0,
+        failure_prob=0.05,
+        sweep_width=(8, 40),
+        workflow_prob=0.5,
+    ),
+    # Interactive steering/visualization: small sessions wanted *now*.
+    Modality.VIZ: BehaviorProfile(
+        modality=Modality.VIZ,
+        think_time_mean=1.5 * DAY,
+        jobs_per_session=(1, 2),
+        min_cores=1,
+        max_cores=16,
+        mean_log2_cores=2.0,
+        sigma_log2_cores=1.0,
+        runtime_median=2 * HOUR,
+        runtime_sigma=0.5,
+        runtime_min=20 * MINUTE,
+        runtime_max=8 * HOUR,
+        walltime_pad=1.2,
+        failure_prob=0.02,
+        patience=20 * MINUTE,
+    ),
+    # Tightly-coupled multi-site runs: rare and huge.
+    Modality.COUPLED: BehaviorProfile(
+        modality=Modality.COUPLED,
+        think_time_mean=10 * DAY,
+        jobs_per_session=(1, 1),
+        min_cores=64,
+        max_cores=512,
+        mean_log2_cores=7.0,
+        sigma_log2_cores=0.8,
+        runtime_median=3 * HOUR,
+        runtime_sigma=0.5,
+        runtime_min=30 * MINUTE,
+        runtime_max=12 * HOUR,
+        walltime_pad=1.5,
+        failure_prob=0.05,
+        n_sites=(2, 3),
+    ),
+}

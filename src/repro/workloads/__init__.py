@@ -1,0 +1,20 @@
+"""Scenario assembly: federations, populations, full simulation runs."""
+
+from repro.workloads.scenarios import SiteSpec, TERAGRID_2010, federation_specs
+from repro.workloads.synthetic import ScenarioConfig, ScenarioResult, run_scenario
+from repro.workloads.swf import records_to_swf, swf_to_records
+from repro.workloads.replay import ReplayResult, arrivals_from_records, replay
+
+__all__ = [
+    "ReplayResult",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SiteSpec",
+    "TERAGRID_2010",
+    "arrivals_from_records",
+    "federation_specs",
+    "records_to_swf",
+    "replay",
+    "run_scenario",
+    "swf_to_records",
+]

@@ -1,0 +1,80 @@
+"""Federation descriptions modeled on the 2010 TeraGrid.
+
+Machine shapes follow the real systems (relative sizes, cores per node,
+normalization factors) scaled down by a constant so simulations are
+laptop-fast; modality measurement consumes the *event stream*, which is
+insensitive to the absolute node count at fixed utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infra.cluster import Cluster
+
+__all__ = ["SiteSpec", "TERAGRID_2010", "federation_specs"]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Static description of one resource provider."""
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    nu_per_core_hour: float
+    wan_bandwidth: float  # bytes/s on the site's access link
+
+    def cluster(self) -> Cluster:
+        return Cluster(
+            name=self.name,
+            nodes=self.nodes,
+            cores_per_node=self.cores_per_node,
+            nu_per_core_hour=self.nu_per_core_hour,
+        )
+
+
+#: The 2010 federation at 1/16 scale (names nod at the real systems:
+#: Ranger/TACC, Kraken/NICS, Abe/NCSA, Lonestar/TACC, Steele/Purdue,
+#: QueenBee/LONI, BigRed/IU, Pople/PSC).
+TERAGRID_2010: tuple[SiteSpec, ...] = (
+    SiteSpec("ranger", nodes=246, cores_per_node=16, nu_per_core_hour=1.9,
+             wan_bandwidth=1.25e9),
+    SiteSpec("kraken", nodes=516, cores_per_node=12, nu_per_core_hour=2.0,
+             wan_bandwidth=1.25e9),
+    SiteSpec("abe", nodes=75, cores_per_node=8, nu_per_core_hour=1.4,
+             wan_bandwidth=6.25e8),
+    SiteSpec("lonestar", nodes=36, cores_per_node=4, nu_per_core_hour=1.2,
+             wan_bandwidth=6.25e8),
+    SiteSpec("steele", nodes=56, cores_per_node=8, nu_per_core_hour=1.0,
+             wan_bandwidth=6.25e8),
+    SiteSpec("queenbee", nodes=42, cores_per_node=8, nu_per_core_hour=1.3,
+             wan_bandwidth=6.25e8),
+    SiteSpec("bigred", nodes=48, cores_per_node=4, nu_per_core_hour=0.8,
+             wan_bandwidth=3.125e8),
+    SiteSpec("pople", nodes=24, cores_per_node=16, nu_per_core_hour=1.1,
+             wan_bandwidth=3.125e8),
+)
+
+
+def federation_specs(scale: str = "medium") -> tuple[SiteSpec, ...]:
+    """Preset federations.
+
+    * ``small`` — 3 sites, shrunk further (fast unit/integration tests);
+    * ``medium`` — 5 sites at moderate size (default experiments);
+    * ``full`` — all 8 sites of :data:`TERAGRID_2010`.
+    """
+    if scale == "full":
+        return TERAGRID_2010
+    if scale == "medium":
+        return TERAGRID_2010[:5]
+    if scale == "small":
+        return (
+            SiteSpec("ranger", nodes=32, cores_per_node=16,
+                     nu_per_core_hour=1.9, wan_bandwidth=1.25e9),
+            SiteSpec("abe", nodes=24, cores_per_node=8,
+                     nu_per_core_hour=1.4, wan_bandwidth=6.25e8),
+            SiteSpec("lonestar", nodes=16, cores_per_node=4,
+                     nu_per_core_hour=1.2, wan_bandwidth=6.25e8),
+        )
+    raise ValueError(f"unknown federation scale {scale!r}")

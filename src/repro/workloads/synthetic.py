@@ -1,0 +1,202 @@
+"""End-to-end scenario runner: federation + population + behaviours → records.
+
+:func:`run_scenario` is the workhorse every experiment builds on.  It wires
+the full substrate, runs the simulation for a configured horizon, drains the
+accounting feeds and returns both the *observable* products (the central
+accounting DB) and the *ground truth* (per-job and per-identity modality
+maps) needed to score the measurement system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Type
+
+import repro.infra as infra
+from repro.core.modalities import Modality
+from repro.infra.accounting import CentralAccountingDB, UsageRecord
+from repro.infra.metascheduler import SelectionStrategy
+from repro.infra.scheduler.base import BatchScheduler
+from repro.infra.scheduler.backfill import EasyBackfillScheduler
+from repro.infra.units import DAY, HOUR
+from repro.sim import RandomStreams, Simulator
+from repro.users.behavior import SimulationContext, start_behaviors
+from repro.users.population import Population, PopulationSpec, build_population
+from repro.users.profiles import BehaviorProfile
+from repro.workloads.scenarios import SiteSpec, federation_specs
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All knobs of one simulated campaign."""
+
+    scale: str = "small"
+    days: float = 30.0
+    seed: int = 0
+    population: PopulationSpec = field(default_factory=lambda: PopulationSpec(scale=0.05))
+    gateway_tagging_coverage: float = 1.0
+    scheduler_factory: Type[BatchScheduler] | Callable[..., BatchScheduler] = (
+        EasyBackfillScheduler
+    )
+    metascheduler_strategy: SelectionStrategy = SelectionStrategy.PREDICTED_START
+    amie_interval: float = 6 * HOUR
+    info_publish_interval: float = 15 * 60.0
+    profiles: Optional[dict[Modality, BehaviorProfile]] = None
+    sites: Optional[tuple[SiteSpec, ...]] = None
+    #: gateway end users activate uniformly over this many days (0 = at once)
+    gateway_adoption_ramp_days: float = 0.0
+
+    @property
+    def horizon(self) -> float:
+        return self.days * DAY
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a measurement experiment needs from one run."""
+
+    config: ScenarioConfig
+    central: CentralAccountingDB
+    population: Population
+    providers: list
+    gateways: dict
+    sim: Simulator
+    ledger: infra.AllocationLedger
+    network: infra.Network
+
+    @property
+    def records(self) -> list[UsageRecord]:
+        return self.central.all_records()
+
+    @property
+    def community_accounts(self) -> set[str]:
+        return {
+            account for _user, account in self.population.community_accounts.values()
+        }
+
+    def truth_by_job(self) -> dict[int, Modality]:
+        """Ground-truth modality of every job with a usage record."""
+        truth: dict[int, Modality] = {}
+        for provider in self.providers:
+            for job in provider.scheduler.completed:
+                if job.true_modality is None:
+                    raise AssertionError(
+                        f"job {job.job_id} finished without ground truth"
+                    )
+                truth[job.job_id] = Modality(job.true_modality)
+        return truth
+
+    def truth_by_identity(self) -> dict[str, Modality]:
+        return self.population.truth_by_identity
+
+    def active_truth_by_identity(self) -> dict[str, Modality]:
+        """Ground truth restricted to identities that actually ran jobs.
+
+        Short campaigns leave some (especially gateway/coupled) users
+        inactive; measured counts should be compared against users who left
+        any trace in accounting.
+        """
+        active: set[str] = set()
+        for provider in self.providers:
+            for job in provider.scheduler.completed:
+                user = job.true_user or job.user
+                gateway = job.attributes.get("gateway_name")
+                if job.attributes.get("submit_interface") == "gateway":
+                    active.add(f"{gateway}:{user}")
+                else:
+                    active.add(user)
+        return {
+            identity: modality
+            for identity, modality in self.population.truth_by_identity.items()
+            if identity in active
+        }
+
+
+def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioResult:
+    """Build and run one campaign; see :class:`ScenarioConfig` for knobs.
+
+    Keyword overrides are applied on top of ``config`` (or the defaults), so
+    ``run_scenario(days=90, seed=3)`` works without building a config.
+    """
+    if config is None:
+        config = ScenarioConfig()
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+
+    sim = Simulator()
+    streams = RandomStreams(seed=config.seed)
+    ledger = infra.AllocationLedger()
+    central = CentralAccountingDB()
+    network = infra.Network(sim)
+
+    specs = config.sites if config.sites is not None else federation_specs(config.scale)
+    providers = []
+    for spec in specs:
+        provider = infra.ResourceProvider(
+            sim,
+            spec.cluster(),
+            ledger,
+            central,
+            scheduler_factory=config.scheduler_factory,
+            amie_interval=config.amie_interval,
+        )
+        providers.append(provider)
+        network.add_site(spec.name, spec.wan_bandwidth)
+
+    info = infra.InformationService(
+        sim, providers, publish_interval=config.info_publish_interval
+    )
+    meta = infra.Metascheduler(
+        providers,
+        config.metascheduler_strategy,
+        rng=streams.stream("metascheduler"),
+        info_service=info,
+    )
+    engine = infra.WorkflowEngine(sim, meta, network=network)
+    coalloc = infra.CoAllocator(sim)
+
+    population = build_population(
+        config.population, streams.stream("population"), providers, ledger
+    )
+    gateways = {
+        name: infra.ScienceGateway(
+            name=name,
+            community_user=community_user,
+            community_account=account,
+            rng=streams.stream(f"gateway:{name}"),
+            tagging_coverage=config.gateway_tagging_coverage,
+        )
+        for name, (community_user, account) in population.community_accounts.items()
+    }
+
+    ctx = SimulationContext(
+        sim=sim,
+        streams=streams,
+        providers=providers,
+        metascheduler=meta,
+        gateways=gateways,
+        workflow_engine=engine,
+        coallocator=coalloc,
+        gateway_adoption_ramp=config.gateway_adoption_ramp_days * DAY,
+        network=network,
+    )
+    start_behaviors(ctx, population, profiles=config.profiles)
+
+    sim.run(until=config.horizon)
+    for provider in providers:
+        provider.feed.drain()
+
+    return ScenarioResult(
+        config=config,
+        central=central,
+        population=population,
+        providers=providers,
+        gateways=gateways,
+        sim=sim,
+        ledger=ledger,
+        network=network,
+    )

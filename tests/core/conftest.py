@@ -1,0 +1,50 @@
+"""Shared factories for measurement-layer tests."""
+
+import itertools
+
+import pytest
+
+from repro.infra.accounting import UsageRecord
+from repro.infra.job import JobState
+
+_ids = itertools.count(10_000)
+
+
+@pytest.fixture
+def make_record():
+    """Factory for synthetic usage records with sensible defaults."""
+
+    def factory(
+        user="alice",
+        account="TG-ALICE",
+        resource="ranger",
+        queue_name="normal",
+        cores=16,
+        walltime=7200.0,
+        submit=0.0,
+        wait=600.0,
+        elapsed=3600.0,
+        state=JobState.COMPLETED,
+        nu=None,
+        attributes=None,
+        job_id=None,
+    ):
+        start = None if wait is None else submit + wait
+        end = submit + (wait or 0.0) + elapsed if start is not None else submit
+        return UsageRecord(
+            job_id=next(_ids) if job_id is None else job_id,
+            user=user,
+            account=account,
+            resource=resource,
+            queue_name=queue_name,
+            cores=cores,
+            requested_walltime=walltime,
+            submit_time=submit,
+            start_time=start,
+            end_time=end,
+            final_state=state,
+            charged_nu=(cores * elapsed / 3600.0) if nu is None else nu,
+            attributes=dict(attributes or {}),
+        )
+
+    return factory

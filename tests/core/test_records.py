@@ -1,0 +1,156 @@
+"""Tests for identity resolution and feature extraction."""
+
+import pytest
+
+from repro.core.records import (
+    RecordFeatures,
+    build_identity_views,
+    burst_membership,
+    resolve_identity,
+    strip_attributes,
+)
+from repro.infra.job import AttributeKeys, JobState
+
+
+def test_identity_defaults_to_account_user(make_record):
+    record = make_record(user="alice")
+    assert resolve_identity(record) == "alice"
+
+
+def test_identity_uses_gateway_attribute_when_present(make_record):
+    record = make_record(
+        user="gw_nanohub",
+        attributes={
+            AttributeKeys.GATEWAY_USER: "student7",
+            AttributeKeys.GATEWAY_NAME: "nanohub",
+        },
+    )
+    assert resolve_identity(record) == "nanohub:student7"
+    assert resolve_identity(record, use_attributes=False) == "gw_nanohub"
+
+
+def test_untagged_gateway_job_collapses_to_community_user(make_record):
+    record = make_record(
+        user="gw_nanohub",
+        attributes={AttributeKeys.SUBMIT_INTERFACE: "gateway"},
+    )
+    assert resolve_identity(record) == "gw_nanohub"
+
+
+def test_strip_attributes_removes_all_instrumentation(make_record):
+    record = make_record(attributes={"a": 1, "b": 2})
+    (bare,) = strip_attributes([record])
+    assert bare.attributes == {}
+    assert bare.job_id == record.job_id
+    assert bare.cores == record.cores
+    assert record.attributes == {"a": 1, "b": 2}  # original untouched
+
+
+def test_features_basic_statistics(make_record):
+    records = [
+        make_record(elapsed=100.0, cores=4),
+        make_record(elapsed=200.0, cores=8),
+        make_record(elapsed=300.0, cores=16, state=JobState.FAILED),
+        make_record(elapsed=0.0, wait=None, state=JobState.CANCELLED),
+    ]
+    features = RecordFeatures.from_records(records)
+    assert features.n_jobs == 4
+    assert features.median_elapsed == 200.0
+    assert features.failure_fraction == 0.25
+    assert features.cancelled_fraction == 0.25
+    assert features.max_cores == 16
+    assert features.resources == ("ranger",)
+
+
+def test_features_reject_empty():
+    with pytest.raises(ValueError):
+        RecordFeatures.from_records([])
+
+
+def test_interactive_fraction_counts_queue(make_record):
+    records = [
+        make_record(queue_name="interactive"),
+        make_record(queue_name="normal"),
+    ]
+    features = RecordFeatures.from_records(records)
+    assert features.interactive_fraction == 0.5
+
+
+def test_burst_membership_flags_runs_of_similar_jobs(make_record):
+    burst = [
+        make_record(cores=8, submit=i * 60.0, job_id=100 + i) for i in range(6)
+    ]
+    loner = make_record(cores=8, submit=1e6, job_id=200)
+    flags = burst_membership(burst + [loner], window=1800.0, min_size=5)
+    assert flags == [True] * 6 + [False]
+
+
+def test_burst_membership_breaks_on_core_change(make_record):
+    records = [
+        make_record(cores=8 if i < 3 else 16, submit=i * 60.0, job_id=300 + i)
+        for i in range(6)
+    ]
+    flags = burst_membership(records, window=1800.0, min_size=5)
+    assert flags == [False] * 6
+
+
+def test_burst_membership_requires_submission_order(make_record):
+    records = [make_record(submit=100.0, job_id=401), make_record(submit=0.0, job_id=400)]
+    with pytest.raises(ValueError):
+        burst_membership(records, window=1800.0, min_size=2)
+
+
+def test_burst_fraction_in_features(make_record):
+    burst = [
+        make_record(cores=8, submit=i * 60.0, job_id=500 + i) for i in range(10)
+    ]
+    features = RecordFeatures.from_records(burst)
+    assert features.burst_fraction == 1.0
+
+
+def test_build_identity_views_groups_and_finalizes(make_record):
+    records = [
+        make_record(user="alice"),
+        make_record(user="bob"),
+        make_record(user="alice"),
+        make_record(
+            user="gw_x",
+            attributes={
+                AttributeKeys.GATEWAY_USER: "enduser",
+                AttributeKeys.GATEWAY_NAME: "portal",
+            },
+        ),
+    ]
+    views = build_identity_views(records)
+    assert set(views) == {"alice", "bob", "portal:enduser"}
+    assert views["alice"].features.n_jobs == 2
+    assert all(v.features is not None for v in views.values())
+
+
+def test_build_identity_views_without_attributes(make_record):
+    records = [
+        make_record(
+            user="gw_x",
+            attributes={
+                AttributeKeys.GATEWAY_USER: f"enduser{i}",
+                AttributeKeys.GATEWAY_NAME: "portal",
+            },
+            job_id=600 + i,
+        )
+        for i in range(5)
+    ]
+    instrumented = build_identity_views(records, use_attributes=True)
+    bare = build_identity_views(records, use_attributes=False)
+    assert len(instrumented) == 5
+    assert len(bare) == 1  # the collapse
+
+
+def test_strip_attributes_keeps_field_of_science(make_record):
+    import dataclasses
+
+    record = dataclasses.replace(
+        make_record(attributes={"k": "v"}), field_of_science="Chemistry"
+    )
+    (bare,) = strip_attributes([record])
+    assert bare.field_of_science == "Chemistry"
+    assert bare.attributes == {}

@@ -1,0 +1,121 @@
+"""Tests for usage records, the central DB and the AMIE feed."""
+
+import pytest
+
+from repro.infra.accounting import AmieFeed, CentralAccountingDB, UsageRecord
+from repro.infra.job import Job, JobState
+from repro.infra.units import HOUR
+from repro.sim import Simulator
+
+
+def terminal_job(**kwargs):
+    defaults = dict(
+        user="alice", account="acct", cores=4, walltime=3600.0, true_runtime=1800.0
+    )
+    defaults.update(kwargs)
+    job = Job(**defaults)
+    job.state = JobState.COMPLETED
+    job.resource = "mach"
+    job.submit_time = 0.0
+    job.start_time = 100.0
+    job.end_time = 1900.0
+    job.charged_nu = 2.0
+    return job
+
+
+def test_record_from_job_copies_observables():
+    job = terminal_job(attributes={"submit_interface": "login"})
+    record = UsageRecord.from_job(job)
+    assert record.job_id == job.job_id
+    assert record.user == "alice"
+    assert record.resource == "mach"
+    assert record.wait_time == 100.0
+    assert record.elapsed == 1800.0
+    assert record.core_hours == pytest.approx(4 * 1800.0 / HOUR)
+    assert record.attributes == {"submit_interface": "login"}
+    assert record.ran
+
+
+def test_record_attributes_are_a_copy():
+    job = terminal_job(attributes={"k": "v"})
+    record = UsageRecord.from_job(job)
+    job.attributes["k"] = "changed"
+    assert record.attributes["k"] == "v"
+
+
+def test_record_has_no_ground_truth_fields():
+    job = terminal_job(true_modality="batch", true_user="secret")
+    record = UsageRecord.from_job(job)
+    assert not hasattr(record, "true_modality")
+    assert not hasattr(record, "true_user")
+    assert "true_modality" not in record.attributes
+
+
+def test_record_rejects_non_terminal_job():
+    job = terminal_job()
+    job.state = JobState.RUNNING
+    with pytest.raises(ValueError):
+        UsageRecord.from_job(job)
+
+
+def test_cancelled_before_start_record():
+    job = terminal_job()
+    job.state = JobState.CANCELLED
+    job.start_time = None
+    record = UsageRecord.from_job(job)
+    assert not record.ran
+    assert record.wait_time is None
+    assert record.elapsed == 0.0
+    assert record.core_hours == 0.0
+
+
+def test_central_db_indices():
+    db = CentralAccountingDB()
+    r1 = UsageRecord.from_job(terminal_job(user="alice"))
+    r2 = UsageRecord.from_job(terminal_job(user="bob"))
+    db.ingest([r1, r2])
+    assert len(db) == 2
+    assert db.users() == ["alice", "bob"]
+    assert db.resources() == ["mach"]
+    assert [r.user for r in db.records_of_user("alice")] == ["alice"]
+    assert len(db.records_on_resource("mach")) == 2
+    assert len(db.records_of_account("acct")) == 2
+    assert db.total_nu() == pytest.approx(4.0)
+
+
+def test_central_db_rejects_duplicate_job():
+    db = CentralAccountingDB()
+    record = UsageRecord.from_job(terminal_job())
+    db.ingest([record])
+    with pytest.raises(ValueError):
+        db.ingest([record])
+
+
+def test_amie_feed_batches_by_interval():
+    sim = Simulator()
+    db = CentralAccountingDB()
+    batches = []
+    feed = AmieFeed(sim, db, interval=6 * HOUR, on_flush=batches.append)
+    feed.publish(UsageRecord.from_job(terminal_job()))
+    feed.publish(UsageRecord.from_job(terminal_job()))
+    assert feed.buffered == 2
+    assert len(db) == 0  # not yet flushed
+    sim.run(until=6 * HOUR + 1)
+    assert len(db) == 2
+    assert feed.buffered == 0
+    assert len(batches) == 1 and len(batches[0]) == 2
+
+
+def test_amie_drain_flushes_immediately():
+    sim = Simulator()
+    db = CentralAccountingDB()
+    feed = AmieFeed(sim, db, interval=6 * HOUR)
+    feed.publish(UsageRecord.from_job(terminal_job()))
+    assert feed.drain() == 1
+    assert feed.drain() == 0
+    assert len(db) == 1
+
+
+def test_amie_interval_validation():
+    with pytest.raises(ValueError):
+        AmieFeed(Simulator(), CentralAccountingDB(), interval=0.0)

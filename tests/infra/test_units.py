@@ -1,0 +1,36 @@
+"""Tests for time/charging units."""
+
+import pytest
+
+from repro.infra.units import DAY, HOUR, MINUTE, WEEK, core_hours, nu_charge
+
+
+def test_time_constants():
+    assert MINUTE == 60.0
+    assert HOUR == 60 * MINUTE
+    assert DAY == 24 * HOUR
+    assert WEEK == 7 * DAY
+
+
+def test_core_hours():
+    assert core_hours(4, HOUR) == 4.0
+    assert core_hours(1, 1800.0) == 0.5
+    assert core_hours(0, HOUR) == 0.0
+
+
+def test_core_hours_validation():
+    with pytest.raises(ValueError):
+        core_hours(-1, 10.0)
+    with pytest.raises(ValueError):
+        core_hours(1, -10.0)
+
+
+def test_nu_charge_scales_with_normalization():
+    base = nu_charge(16, HOUR, 1.0)
+    assert nu_charge(16, HOUR, 2.5) == pytest.approx(2.5 * base)
+    assert base == pytest.approx(16.0)
+
+
+def test_nu_charge_validation():
+    with pytest.raises(ValueError):
+        nu_charge(1, HOUR, 0.0)

@@ -1,0 +1,205 @@
+"""Tests for the simulation engine: clock, ordering, run modes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Simulator, SimulationError, StopSimulation
+
+
+def test_initial_time_defaults_to_zero():
+    assert Simulator().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Simulator(start_time=100.0).now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [5.0]
+
+
+def test_run_until_time_sets_clock_exactly():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_time_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        fired.append("early")
+        yield sim.timeout(10.0)
+        fired.append("late")
+
+    sim.process(proc(sim))
+    sim.run(until=7.0)
+    assert fired == ["early"]
+    # later event still pending; continue run
+    sim.run(until=20.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=50.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def producer(sim):
+        yield sim.timeout(3.0)
+        return "result"
+
+    proc = sim.process(producer(sim))
+    assert sim.run(until=proc) == "result"
+    assert sim.now == 3.0
+
+
+def test_run_until_event_reraises_failure():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = sim.process(boom(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=proc)
+
+
+def test_run_until_event_never_triggering_raises():
+    sim = Simulator()
+    never = sim.event()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    with pytest.raises(SimulationError):
+        sim.run(until=never)
+
+
+def test_unhandled_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(boom(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_step_on_empty_heap_raises():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(4.0)
+
+    sim.process(proc(sim))
+    sim.step()  # process initialization event at t=0
+    assert sim.peek() == 4.0
+
+
+def test_stop_simulation_exits_run():
+    sim = Simulator()
+    log = []
+
+    def stopper(sim):
+        yield sim.timeout(2.0)
+        log.append("stopping")
+        raise StopSimulation
+
+    def other(sim):
+        yield sim.timeout(5.0)
+        log.append("should not run")
+
+    sim.process(stopper(sim))
+    sim.process(other(sim))
+    sim.run()
+    assert log == ["stopping"]
+    assert sim.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_clock_is_monotone_over_random_timeouts(delays):
+    """Property: the simulation clock never goes backwards."""
+    sim = Simulator()
+    observed = []
+
+    def waiter(sim, delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(sim, delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 1000)),
+                min_size=1, max_size=40))
+def test_events_fire_in_time_order(pairs):
+    """Property: firing order sorts by time, FIFO within equal times."""
+    sim = Simulator()
+    fired = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        fired.append((sim.now, tag))
+
+    for tag, (delay, _salt) in enumerate(pairs):
+        sim.process(waiter(sim, delay, tag))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    # FIFO among equal-time events: tags at equal time ascend
+    for i in range(1, len(fired)):
+        if fired[i][0] == fired[i - 1][0]:
+            assert fired[i][1] > fired[i - 1][1]

@@ -1,0 +1,45 @@
+"""Tests for named random streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_name_reproduces():
+    a = RandomStreams(seed=7).stream("arrivals")
+    b = RandomStreams(seed=7).stream("arrivals")
+    assert a.random(10).tolist() == b.random(10).tolist()
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("arrivals").random(10)
+    b = streams.stream("runtimes").random(10)
+    assert a.tolist() != b.tolist()
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("arrivals").random(10)
+    b = RandomStreams(seed=2).stream("arrivals").random(10)
+    assert a.tolist() != b.tolist()
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_streams_does_not_perturb_existing():
+    """Creating a new named stream must not change draws of an old one."""
+    first = RandomStreams(seed=3)
+    expected = first.stream("a").random(5).tolist()
+
+    second = RandomStreams(seed=3)
+    second.stream("zzz")  # extra stream created first
+    assert second.stream("a").random(5).tolist() == expected
+
+
+def test_names_and_contains():
+    streams = RandomStreams(seed=0)
+    streams.stream("one")
+    assert "one" in streams
+    assert "two" not in streams
+    assert streams.names() == ("one",)

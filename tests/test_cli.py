@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in ("T1", "F7", "A1"):
+        assert experiment_id in out
+
+
+def test_taxonomy_prints_table(capsys):
+    assert main(["taxonomy"]) == 0
+    out = capsys.readouterr().out
+    assert "Science-gateway access" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "T99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_executes_experiment(capsys):
+    assert main(["run", "f3", "--days", "2", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "F3" in out
+    assert "EASY" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report_subset(capsys):
+    assert main(["report", "--fast", "--only", "A1"]) == 0
+    out = capsys.readouterr().out
+    assert "A1" in out and "regenerated in" in out
+
+
+def test_report_unknown_experiment(tmp_path):
+    import pytest as _pytest
+    with _pytest.raises(KeyError):
+        main(["report", "--only", "ZZ"])
+
+
+def test_report_to_file(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(["report", "--fast", "--only", "A2", "--out", str(target)]) == 0
+    assert "A2" in target.read_text()

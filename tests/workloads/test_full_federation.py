@@ -1,0 +1,43 @@
+"""Smoke test of the full 8-site TeraGrid-2010 federation."""
+
+import pytest
+
+from repro.core import AttributeClassifier, compute_metrics
+from repro.core.modalities import Modality
+from repro.users.population import PopulationSpec
+from repro.workloads import ScenarioConfig, TERAGRID_2010, run_scenario
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    return run_scenario(
+        ScenarioConfig(
+            scale="full",
+            days=7,
+            seed=13,
+            population=PopulationSpec(scale=0.04, n_gateways=4),
+        )
+    )
+
+
+def test_all_eight_sites_participate(full_run):
+    assert len(full_run.providers) == len(TERAGRID_2010) == 8
+    busy_sites = {r.resource for r in full_run.records}
+    assert len(busy_sites) >= 6  # nearly every site saw work in a week
+
+
+def test_normalization_factors_differ_by_site(full_run):
+    by_site = {p.name: p.cluster.nu_per_core_hour for p in full_run.providers}
+    assert by_site["kraken"] > by_site["bigred"]
+
+
+def test_measurement_pipeline_scales_to_full_federation(full_run):
+    classification = AttributeClassifier().classify(full_run.records)
+    metrics = compute_metrics(full_run.records, classification)
+    assert metrics.total_jobs == len(full_run.records) > 500
+    assert metrics.users[Modality.BATCH] > 0
+    assert metrics.users[Modality.GATEWAY] > 0
+    # Charges conserved across all eight ledger/site pairs.
+    assert full_run.central.total_nu() == pytest.approx(
+        full_run.ledger.total_charged()
+    )

@@ -1,0 +1,77 @@
+"""Tests for SWF export/import."""
+
+import io
+
+import pytest
+
+from repro.infra.job import JobState
+from repro.users.population import PopulationSpec
+from repro.workloads import records_to_swf, run_scenario, swf_to_records
+
+
+def test_swf_round_trip_preserves_structure():
+    result = run_scenario(days=5, seed=6, population=PopulationSpec(scale=0.02))
+    records = result.records
+    buffer = io.StringIO()
+    assert records_to_swf(records, buffer) == len(records)
+    buffer.seek(0)
+    parsed = swf_to_records(buffer)
+    assert len(parsed) == len(records)
+    original = {r.job_id: r for r in records}
+    for record in parsed:
+        source = original[record.job_id]
+        assert record.user == source.user
+        assert record.resource == source.resource
+        assert record.cores == source.cores
+        assert record.submit_time == pytest.approx(source.submit_time, abs=1.0)
+        if source.ran:
+            assert record.start_time == pytest.approx(source.start_time, abs=1.5)
+            assert record.elapsed == pytest.approx(source.elapsed, abs=1.5)
+        assert record.attributes == source.attributes
+
+
+def test_swf_round_trip_preserves_terminal_states():
+    result = run_scenario(days=5, seed=6, population=PopulationSpec(scale=0.02))
+    buffer = io.StringIO()
+    records_to_swf(result.records, buffer)
+    buffer.seek(0)
+    parsed = {r.job_id: r for r in swf_to_records(buffer)}
+    for record in result.records:
+        round_tripped = parsed[record.job_id].final_state
+        if record.final_state is JobState.COMPLETED:
+            assert round_tripped is JobState.COMPLETED
+        elif record.final_state is JobState.FAILED:
+            assert round_tripped is JobState.FAILED
+        else:
+            # killed/cancelled share SWF status 5
+            assert round_tripped is JobState.CANCELLED
+
+
+def test_swf_output_is_sorted_by_submit_time():
+    result = run_scenario(days=5, seed=6, population=PopulationSpec(scale=0.02))
+    buffer = io.StringIO()
+    records_to_swf(result.records, buffer)
+    submits = [
+        int(line.split()[1])
+        for line in buffer.getvalue().splitlines()
+        if line and not line.startswith(";")
+    ]
+    assert submits == sorted(submits)
+
+
+def test_swf_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        swf_to_records(io.StringIO("1 2 3\n"))
+
+
+def test_swf_parses_foreign_trace_without_comments():
+    line = "7 100 50 3600 64 -1 -1 64 7200 -1 1 3 -1 -1 1 1 -1 -1\n"
+    (record,) = swf_to_records(io.StringIO(line))
+    assert record.job_id == 7
+    assert record.user == "user3"
+    assert record.resource == "resource1"
+    assert record.cores == 64
+    assert record.start_time == 150.0
+    assert record.elapsed == 3600.0
+    assert record.final_state is JobState.COMPLETED
+    assert record.attributes == {}

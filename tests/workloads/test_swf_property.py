@@ -1,0 +1,74 @@
+"""Property-based SWF round-trip tests over generated records."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.infra.accounting import UsageRecord
+from repro.infra.job import JobState
+from repro.workloads import records_to_swf, swf_to_records
+
+
+@st.composite
+def usage_records(draw):
+    job_id = draw(st.integers(min_value=1, max_value=10**6))
+    submit = draw(st.integers(min_value=0, max_value=10**6))
+    ran = draw(st.booleans())
+    wait = draw(st.integers(min_value=0, max_value=10**5)) if ran else None
+    elapsed = draw(st.integers(min_value=1, max_value=10**5)) if ran else 0
+    cores = draw(st.integers(min_value=1, max_value=4096))
+    state = draw(
+        st.sampled_from(
+            [JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED]
+        )
+        if ran
+        else st.just(JobState.CANCELLED)
+    )
+    attributes = draw(
+        st.dictionaries(
+            st.sampled_from(["ensemble_id", "workflow_id", "gateway_user"]),
+            st.text(alphabet="abc123", min_size=1, max_size=8),
+            max_size=2,
+        )
+    )
+    start = None if wait is None else float(submit + wait)
+    end = float(submit) if start is None else start + elapsed
+    return UsageRecord(
+        job_id=job_id,
+        user=draw(st.sampled_from(["alice", "bob", "gw_portal"])),
+        account="acct",
+        resource=draw(st.sampled_from(["ranger", "kraken"])),
+        queue_name="normal",
+        cores=cores,
+        requested_walltime=float(elapsed + draw(st.integers(0, 1000))),
+        submit_time=float(submit),
+        start_time=start,
+        end_time=end,
+        final_state=state,
+        charged_nu=cores * elapsed / 3600.0,
+        attributes=attributes,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(usage_records(), min_size=1, max_size=25,
+                unique_by=lambda r: r.job_id))
+def test_swf_round_trip_property(records):
+    """Property: SWF round trip preserves identity, shape and attributes."""
+    buffer = io.StringIO()
+    assert records_to_swf(records, buffer) == len(records)
+    buffer.seek(0)
+    parsed = {r.job_id: r for r in swf_to_records(buffer)}
+    assert set(parsed) == {r.job_id for r in records}
+    for record in records:
+        got = parsed[record.job_id]
+        assert got.user == record.user
+        assert got.resource == record.resource
+        assert got.cores == record.cores
+        assert got.attributes == record.attributes
+        assert abs(got.submit_time - record.submit_time) <= 1.0
+        if record.ran:
+            assert got.ran
+            assert abs(got.elapsed - record.elapsed) <= 1.5
+        else:
+            assert not got.ran
