@@ -6,11 +6,14 @@ is printed (visible with ``pytest -s``) and written to
 archived artifacts.
 """
 
+import os
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_LOG = Path(__file__).parent / "BENCH.md"
 
 
 @pytest.fixture
@@ -30,5 +33,64 @@ def regenerate(benchmark):
         path.write_text(str(output) + "\n", encoding="utf-8")
         print(f"\n{output}\n[archived to {path}]")
         return output
+
+    return inner
+
+
+@pytest.fixture
+def parallel_speedup():
+    """Time one experiment serial vs parallel; archive + log the ratio.
+
+    Runs the experiment's task fan-out at ``jobs=1`` and ``jobs=N`` with the
+    result cache off (honest wall-clock), asserts the outputs are identical
+    (the determinism contract is part of the benchmark), writes the numbers
+    to ``results/<id>_parallel.txt`` and appends a BENCH entry.
+    """
+
+    def inner(experiment_id: str, jobs: int = 4, **knobs):
+        from repro.experiments.base import _campaign_cache
+        from repro.runner import ParallelRunner
+
+        # Both legs must start cold: the in-process campaign memo (which
+        # forked workers would also inherit) would otherwise hand one leg
+        # precomputed simulations and corrupt the ratio.
+        _campaign_cache.clear()
+        started = time.perf_counter()
+        serial_output = ParallelRunner(jobs=1, use_cache=False).run(
+            experiment_id, **knobs
+        )
+        serial_seconds = time.perf_counter() - started
+
+        _campaign_cache.clear()
+        started = time.perf_counter()
+        parallel_output = ParallelRunner(jobs=jobs, use_cache=False).run(
+            experiment_id, **knobs
+        )
+        parallel_seconds = time.perf_counter() - started
+
+        assert parallel_output.text == serial_output.text
+        assert parallel_output.data == serial_output.data
+
+        speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        cores = os.cpu_count() or 1
+        summary = (
+            f"{experiment_id} serial {serial_seconds:.1f}s vs "
+            f"{jobs}-worker {parallel_seconds:.1f}s -> {speedup:.2f}x "
+            f"({cores} cores available)"
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}_parallel.txt"
+        path.write_text(summary + "\n", encoding="utf-8")
+        stamp = time.strftime("%Y-%m-%d")
+        with BENCH_LOG.open("a", encoding="utf-8") as handle:
+            handle.write(f"- {stamp}: {summary}\n")
+        print(f"\n{summary}\n[archived to {path}]")
+        return {
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "jobs": jobs,
+            "cores": cores,
+        }
 
     return inner

@@ -5,13 +5,40 @@ Usage::
     python -m repro list                # show the experiment index
     python -m repro run T1              # regenerate one table/figure
     python -m repro run T1 --days 30    # ...with reduced horizon
+    python -m repro run R1 --jobs 4     # fan its replicates over 4 workers
+    python -m repro run-all --fast      # the full suite, parallel + cached
+    python -m repro cache info          # result-cache location and size
     python -m repro taxonomy            # print the modality taxonomy
+
+``run-all`` and ``run`` accept ``--jobs N`` (default: ``REPRO_JOBS`` env,
+then CPU count) and ``--no-cache``.  ``run-all`` reports are written without
+timing lines so the bytes are identical at any ``--jobs`` value; the timing
+and cache summary go to stderr instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every task; do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _build_runner(args):
+    from repro.runner import ParallelRunner, ResultCache
+
+    cache = None
+    if not args.no_cache and args.cache_dir:
+        cache = ResultCache(root=args.cache_dir)
+    return ParallelRunner(jobs=args.jobs, cache=cache, use_cache=not args.no_cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,12 +61,30 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument("--only", nargs="*", default=None,
                                help="subset of experiment ids")
 
+    run_all_parser = sub.add_parser(
+        "run-all",
+        help="regenerate the report with parallel workers and result caching",
+    )
+    run_all_parser.add_argument("--fast", action="store_true",
+                                help="reduced horizons (smoke report)")
+    run_all_parser.add_argument("--out", default=None,
+                                help="write to a file instead of stdout")
+    run_all_parser.add_argument("--only", nargs="*", default=None,
+                                help="subset of experiment ids")
+    _add_parallel_flags(run_all_parser)
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", help="e.g. T1, F3")
     run_parser.add_argument("--days", type=float, default=None,
                             help="override the simulated horizon")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="override the master seed")
+    _add_parallel_flags(run_parser)
+
+    cache_parser = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument("--cache-dir", default=None,
+                              help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
 
     args = parser.parse_args(argv)
 
@@ -49,7 +94,28 @@ def main(argv: list[str] | None = None) -> int:
         print(taxonomy_table())
         return 0
 
+    if args.command == "cache":
+        from repro.runner import ResultCache
+
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cached results from {cache.root}")
+        else:
+            entries = cache.entries()
+            print(f"cache dir:    {cache.root}")
+            print(f"entries:      {len(entries)}")
+            print(f"size:         {cache.size_bytes()} bytes")
+            print(f"code version: {cache.version}")
+        return 0
+
     from repro.experiments import registry, run_experiment
+
+    if args.command == "list":
+        for experiment_id in sorted(registry):
+            doc = (registry[experiment_id].__module__ or "").rsplit(".", 1)[-1]
+            print(f"{experiment_id:4s} {doc}")
+        return 0
 
     if args.command == "report":
         from repro.experiments.reporting import generate_report
@@ -62,10 +128,40 @@ def main(argv: list[str] | None = None) -> int:
             generate_report(out=sys.stdout, fast=args.fast, only=args.only)
         return 0
 
-    if args.command == "list":
-        for experiment_id in sorted(registry):
-            doc = (registry[experiment_id].__module__ or "").rsplit(".", 1)[-1]
-            print(f"{experiment_id:4s} {doc}")
+    if args.command == "run-all":
+        from repro.experiments.reporting import generate_report
+
+        try:
+            runner = _build_runner(args)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        started = time.time()
+        try:
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    outputs = generate_report(
+                        out=handle, fast=args.fast, only=args.only,
+                        runner=runner, timings=False,
+                    )
+            else:
+                outputs = generate_report(
+                    out=sys.stdout, fast=args.fast, only=args.only,
+                    runner=runner, timings=False,
+                )
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.time() - started
+        stats = runner.cache_stats
+        cache_note = f", cache: {stats}" if stats is not None else ", cache: off"
+        print(
+            f"[run-all: {len(outputs)} experiments, jobs={runner.jobs}"
+            f"{cache_note}, {elapsed:.1f}s]",
+            file=sys.stderr,
+        )
+        if args.out:
+            print(f"report written to {args.out}")
         return 0
 
     knobs = {}
@@ -73,9 +169,15 @@ def main(argv: list[str] | None = None) -> int:
         knobs["days"] = args.days
     if args.seed is not None:
         knobs["seed"] = args.seed
+    use_runner = (
+        args.jobs is not None or args.no_cache or args.cache_dir is not None
+    )
     try:
-        output = run_experiment(args.experiment_id.upper(), **knobs)
-    except KeyError as exc:
+        if use_runner:
+            output = _build_runner(args).run(args.experiment_id.upper(), **knobs)
+        else:
+            output = run_experiment(args.experiment_id.upper(), **knobs)
+    except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     print(output)

@@ -19,12 +19,22 @@ from __future__ import annotations
 
 import repro.infra as infra
 from repro.core.report import ascii_table
-from repro.experiments.base import ExperimentOutput, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    ExperimentTask,
+    register,
+    register_tasks,
+    run_via_tasks,
+)
 from repro.infra.job import Job, JobState
 from repro.infra.units import DAY, HOUR
 from repro.sim import RandomStreams, Simulator
 
 __all__ = ["run"]
+
+_SEED = 31
+_MTBFS_HOURS = (250.0, 1000.0, 4000.0)
+_CHECKPOINT_INTERVAL = 1 * HOUR
 
 
 def _run_campaign(
@@ -95,17 +105,47 @@ def _run_campaign(
     }
 
 
-@register("A3")
-def run(
-    seed: int = 31,
-    mtbfs_hours: tuple[float, ...] = (250.0, 1000.0, 4000.0),
-    checkpoint_interval: float = 1 * HOUR,
+def plan(
+    seed: int = _SEED,
+    mtbfs_hours: tuple[float, ...] = _MTBFS_HOURS,
+    checkpoint_interval: float = _CHECKPOINT_INTERVAL,
+) -> list[ExperimentTask]:
+    # Each (MTBF, recovery discipline) pair is an independent simulation:
+    # restart then checkpoint, in MTBF order, so merge can pair them back.
+    tasks = []
+    for mtbf_h in mtbfs_hours:
+        for interval in (None, checkpoint_interval):
+            tasks.append(
+                ExperimentTask(
+                    experiment_id="A3",
+                    index=len(tasks),
+                    params={
+                        "mtbf_hours": float(mtbf_h),
+                        "checkpoint_interval": interval,
+                        "seed": int(seed),
+                    },
+                    seed=int(seed),
+                )
+            )
+    return tasks
+
+
+def execute(params: dict) -> dict:
+    return _run_campaign(
+        params["mtbf_hours"] * HOUR, params["checkpoint_interval"], params["seed"]
+    )
+
+
+def merge(
+    partials: list[dict],
+    seed: int = _SEED,
+    mtbfs_hours: tuple[float, ...] = _MTBFS_HOURS,
+    checkpoint_interval: float = _CHECKPOINT_INTERVAL,
 ) -> ExperimentOutput:
     rows = []
     data = {}
-    for mtbf_h in mtbfs_hours:
-        restart = _run_campaign(mtbf_h * HOUR, None, seed)
-        checkpointed = _run_campaign(mtbf_h * HOUR, checkpoint_interval, seed)
+    pairs = iter(partials)
+    for mtbf_h, (restart, checkpointed) in zip(mtbfs_hours, zip(pairs, pairs)):
         rows.append(
             [
                 f"{mtbf_h:g}h",
@@ -128,4 +168,21 @@ def run(
         title="Checkpointing ablation under node failures",
         text=text,
         data=data,
+    )
+
+
+register_tasks("A3", plan=plan, execute=execute, merge=merge)
+
+
+@register("A3")
+def run(
+    seed: int = _SEED,
+    mtbfs_hours: tuple[float, ...] = _MTBFS_HOURS,
+    checkpoint_interval: float = _CHECKPOINT_INTERVAL,
+) -> ExperimentOutput:
+    return run_via_tasks(
+        "A3",
+        seed=seed,
+        mtbfs_hours=mtbfs_hours,
+        checkpoint_interval=checkpoint_interval,
     )

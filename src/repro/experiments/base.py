@@ -1,18 +1,44 @@
-"""Experiment plumbing: output container, registry, campaign cache."""
+"""Experiment plumbing: output container, registry, task plans, campaign cache.
+
+Two execution protocols coexist:
+
+* the classic ``run(**knobs) -> ExperimentOutput`` registry, used by
+  ``run_experiment`` — every experiment supports it;
+* an optional *task plan* (``register_tasks``): the experiment declares the
+  independent units of work it is made of (one per replicate/sweep point),
+  a pure ``execute(params)`` that computes one unit, and a deterministic
+  ``merge(partials, **knobs)`` that assembles the final output.  The
+  parallel runner (:mod:`repro.runner`) fans the tasks out over worker
+  processes; ``plan_tasks``/``merge_tasks`` below are its only entry points
+  into this module, so serial and parallel execution share one code path
+  and produce byte-identical output.
+
+Experiments without a declared plan get a synthesized single-task plan that
+wraps their ``run`` function, so the runner can treat every experiment
+uniformly (coarse-grained parallelism across experiments at worst).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.users.population import PopulationSpec
 from repro.workloads import ScenarioConfig, ScenarioResult, run_scenario
 
 __all__ = [
     "ExperimentOutput",
+    "ExperimentTask",
+    "TaskPlan",
     "registry",
+    "task_plans",
     "register",
+    "register_tasks",
     "run_experiment",
+    "run_via_tasks",
+    "plan_tasks",
+    "execute_task",
+    "merge_tasks",
     "campaign",
     "CAMPAIGN_DAYS",
     "CAMPAIGN_SEED",
@@ -61,6 +87,115 @@ def run_experiment(experiment_id: str, **knobs) -> ExperimentOutput:
             f"unknown experiment {experiment_id!r}; known: {sorted(registry)}"
         ) from None
     return func(**knobs)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One independent, cacheable unit of work of an experiment.
+
+    ``params`` must be plain picklable data (they cross the process
+    boundary and are hashed into the result-cache key); ``seed`` is the
+    master seed the unit simulates with, recorded separately so the cache
+    key scheme ``(experiment, params-hash, seed, code-version)`` stays
+    explicit even when the seed also appears inside ``params``.
+    """
+
+    experiment_id: str
+    index: int
+    params: dict
+    seed: int
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """A declared decomposition of one experiment into tasks."""
+
+    plan: Callable[..., list[ExperimentTask]]
+    execute: Callable[[dict], Any]
+    merge: Callable[..., ExperimentOutput]
+
+
+task_plans: dict[str, TaskPlan] = {}
+
+
+def register_tasks(
+    experiment_id: str,
+    plan: Callable[..., list[ExperimentTask]],
+    execute: Callable[[dict], Any],
+    merge: Callable[..., ExperimentOutput],
+) -> None:
+    """Declare ``experiment_id``'s task decomposition (see module docstring)."""
+    if experiment_id in task_plans:
+        raise ValueError(f"duplicate task plan for {experiment_id!r}")
+    task_plans[experiment_id] = TaskPlan(plan=plan, execute=execute, merge=merge)
+
+
+def _default_plan(experiment_id: str, **knobs) -> list[ExperimentTask]:
+    """Synthesized one-task plan for experiments without a declared one."""
+    # The seed field is part of the cache key; when the experiment runs on
+    # its internal default seed (no knob given) any stable value works —
+    # the default itself is code, covered by the code-version key part.
+    seed = int(knobs.get("seed", CAMPAIGN_SEED))
+    return [
+        ExperimentTask(
+            experiment_id=experiment_id,
+            index=0,
+            params=dict(knobs, __whole__=experiment_id),
+            seed=seed,
+        )
+    ]
+
+
+def plan_tasks(experiment_id: str, **knobs) -> list[ExperimentTask]:
+    """The experiment's task list (declared, or the synthesized default)."""
+    if experiment_id not in registry:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(registry)}"
+        )
+    declared = task_plans.get(experiment_id)
+    if declared is None:
+        return _default_plan(experiment_id, **knobs)
+    tasks = declared.plan(**knobs)
+    for position, task in enumerate(tasks):
+        if task.index != position or task.experiment_id != experiment_id:
+            raise ValueError(
+                f"{experiment_id}: task {position} declared as "
+                f"({task.experiment_id!r}, index={task.index}); plans must "
+                "emit their own id with contiguous indices"
+            )
+    return tasks
+
+
+def execute_task(task: ExperimentTask) -> Any:
+    """Compute one task's partial result (pure; safe in a worker process)."""
+    params = dict(task.params)
+    whole = params.pop("__whole__", None)
+    if whole is not None:
+        return registry[whole](**params)
+    return task_plans[task.experiment_id].execute(params)
+
+
+def merge_tasks(
+    experiment_id: str, partials: list, **knobs
+) -> ExperimentOutput:
+    """Assemble ordered partial results into the experiment's output.
+
+    ``partials`` must be ordered by task index; merge functions are pure in
+    that order, which is what makes parallel output byte-identical to
+    serial output no matter how the scheduler interleaved the tasks.
+    """
+    declared = task_plans.get(experiment_id)
+    if declared is None:
+        (output,) = partials
+        return output
+    return declared.merge(partials, **knobs)
+
+
+def run_via_tasks(experiment_id: str, **knobs) -> ExperimentOutput:
+    """Serial reference path: plan, execute in index order, merge."""
+    tasks = plan_tasks(experiment_id, **knobs)
+    partials = [execute_task(task) for task in tasks]
+    return merge_tasks(experiment_id, partials, **knobs)
 
 
 _campaign_cache: dict[tuple, ScenarioResult] = {}

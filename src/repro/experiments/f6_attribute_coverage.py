@@ -4,6 +4,9 @@ Shape expectation: measured gateway users rise monotonically (and roughly
 linearly at the per-user job counts simulated here it saturates quickly —
 a user is counted once *any* of their jobs is tagged) from the number of
 community accounts at coverage 0 to the true count at coverage 1.
+
+Each coverage point is an independent campaign, declared as one task so the
+sweep parallelizes across worker processes.
 """
 
 from __future__ import annotations
@@ -11,40 +14,78 @@ from __future__ import annotations
 from repro.core import AttributeClassifier
 from repro.core.modalities import Modality
 from repro.core.report import ascii_table, series_block
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    ExperimentTask,
+    campaign,
+    register,
+    register_tasks,
+    run_via_tasks,
+)
 
 __all__ = ["run"]
 
+_DAYS = 45.0
+_SEED = 1
+_COVERAGES = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
 
-@register("F6")
-def run(
-    days: float = 45.0,
-    seed: int = 1,
-    coverages: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0),
+
+def plan(
+    days: float = _DAYS,
+    seed: int = _SEED,
+    coverages: tuple[float, ...] = _COVERAGES,
+) -> list[ExperimentTask]:
+    return [
+        ExperimentTask(
+            experiment_id="F6",
+            index=index,
+            params={"days": days, "seed": int(seed), "coverage": float(coverage)},
+            seed=int(seed),
+        )
+        for index, coverage in enumerate(coverages)
+    ]
+
+
+def execute(params: dict) -> dict:
+    """One sweep point: campaign at one tagging coverage, count recovery."""
+    result = campaign(
+        days=params["days"],
+        seed=params["seed"],
+        gateway_tagging_coverage=params["coverage"],
+    )
+    truth = result.active_truth_by_identity()
+    true_gateway = sum(1 for m in truth.values() if m is Modality.GATEWAY)
+    classification = AttributeClassifier().classify(result.records)
+    # Gateway-primary identities split into *identified end users*
+    # (resolved through a gateway-user attribute -> "<gateway>:<user>")
+    # and *community-account remainders* (the untagged residue an
+    # operations report would list as "unattributed gateway usage").
+    gateway_identities = [
+        identity
+        for identity, modality in classification.identity_primary.items()
+        if modality is Modality.GATEWAY
+    ]
+    identified = sum(1 for i in gateway_identities if ":" in i)
+    return {
+        "identified": identified,
+        "remainder_accounts": len(gateway_identities) - identified,
+        "true": true_gateway,
+    }
+
+
+def merge(
+    partials: list[dict],
+    days: float = _DAYS,
+    seed: int = _SEED,
+    coverages: tuple[float, ...] = _COVERAGES,
 ) -> ExperimentOutput:
     rows = []
     series = []
     data = {}
-    for coverage in coverages:
-        result = campaign(
-            days=days, seed=seed, gateway_tagging_coverage=coverage
-        )
-        truth = result.active_truth_by_identity()
-        true_gateway = sum(
-            1 for m in truth.values() if m is Modality.GATEWAY
-        )
-        classification = AttributeClassifier().classify(result.records)
-        # Gateway-primary identities split into *identified end users*
-        # (resolved through a gateway-user attribute -> "<gateway>:<user>")
-        # and *community-account remainders* (the untagged residue an
-        # operations report would list as "unattributed gateway usage").
-        gateway_identities = [
-            identity
-            for identity, modality in classification.identity_primary.items()
-            if modality is Modality.GATEWAY
-        ]
-        identified = sum(1 for i in gateway_identities if ":" in i)
-        remainder = len(gateway_identities) - identified
+    for coverage, partial in zip(coverages, partials):
+        identified = partial["identified"]
+        remainder = partial["remainder_accounts"]
+        true_gateway = partial["true"]
         rows.append(
             [
                 f"{coverage:.0%}",
@@ -57,11 +98,7 @@ def run(
             ]
         )
         series.append((coverage, float(identified)))
-        data[coverage] = {
-            "identified": identified,
-            "remainder_accounts": remainder,
-            "true": true_gateway,
-        }
+        data[coverage] = partial
     table = ascii_table(
         [
             "tagging coverage",
@@ -86,3 +123,15 @@ def run(
         text=table + "\n\n" + figure,
         data=data,
     )
+
+
+register_tasks("F6", plan=plan, execute=execute, merge=merge)
+
+
+@register("F6")
+def run(
+    days: float = _DAYS,
+    seed: int = _SEED,
+    coverages: tuple[float, ...] = _COVERAGES,
+) -> ExperimentOutput:
+    return run_via_tasks("F6", days=days, seed=seed, coverages=coverages)

@@ -9,6 +9,12 @@ across seeds (activity, not population, is the random part — the population
 counts themselves are deterministic at fixed scale), and the dominance
 ordering BATCH > EXPLORATORY > GATEWAY > ENSEMBLE > VIZ >= COUPLED holds in
 every replicate.
+
+R1 is the blueprint replicate sweep: each seed is an independent simulation,
+declared as one :class:`ExperimentTask` so the parallel runner can fan the
+replicates out across worker processes.  ``run`` goes through the same
+plan/execute/merge path serially, keeping the two execution modes
+byte-identical.
 """
 
 from __future__ import annotations
@@ -17,27 +23,69 @@ from repro.analysis import describe
 from repro.core import AttributeClassifier
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import ascii_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    ExperimentTask,
+    campaign,
+    register,
+    register_tasks,
+    run_via_tasks,
+)
 
 __all__ = ["run"]
 
+_DAYS = 45.0
+_SEEDS = (1, 2, 3, 4, 5)
+_POPULATION_SCALE = 0.05
 
-@register("R1")
-def run(
-    days: float = 45.0,
-    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
-    population_scale: float = 0.05,
+
+def plan(
+    days: float = _DAYS,
+    seeds: tuple[int, ...] = _SEEDS,
+    population_scale: float = _POPULATION_SCALE,
+) -> list[ExperimentTask]:
+    return [
+        ExperimentTask(
+            experiment_id="R1",
+            index=index,
+            params={
+                "days": days,
+                "seed": int(seed),
+                "population_scale": population_scale,
+            },
+            seed=int(seed),
+        )
+        for index, seed in enumerate(seeds)
+    ]
+
+
+def execute(params: dict) -> dict:
+    """One replicate: simulate a campaign at one seed, count users."""
+    result = campaign(
+        days=params["days"],
+        seed=params["seed"],
+        population_scale=params["population_scale"],
+    )
+    counts = AttributeClassifier().classify(result.records).users_by_modality()
+    values = [counts[m] for m in MODALITY_ORDER]
+    return {
+        "counts": {m.value: counts[m] for m in MODALITY_ORDER},
+        "ordering_ok": all(a >= b for a, b in zip(values, values[1:])),
+    }
+
+
+def merge(
+    partials: list[dict],
+    days: float = _DAYS,
+    seeds: tuple[int, ...] = _SEEDS,
+    population_scale: float = _POPULATION_SCALE,
 ) -> ExperimentOutput:
     replicates: dict[str, list[int]] = {m.value: [] for m in MODALITY_ORDER}
     orderings_ok = 0
-    for seed in seeds:
-        result = campaign(days=days, seed=seed, population_scale=population_scale)
-        counts = AttributeClassifier().classify(result.records).users_by_modality()
-        values = [counts[m] for m in MODALITY_ORDER]
-        if all(a >= b for a, b in zip(values, values[1:])):
-            orderings_ok += 1
+    for partial in partials:
+        orderings_ok += bool(partial["ordering_ok"])
         for modality in MODALITY_ORDER:
-            replicates[modality.value].append(counts[modality])
+            replicates[modality.value].append(partial["counts"][modality.value])
 
     rows = []
     data = {}
@@ -74,4 +122,18 @@ def run(
         title="Seed sensitivity of the headline user counts",
         text=text,
         data=data,
+    )
+
+
+register_tasks("R1", plan=plan, execute=execute, merge=merge)
+
+
+@register("R1")
+def run(
+    days: float = _DAYS,
+    seeds: tuple[int, ...] = _SEEDS,
+    population_scale: float = _POPULATION_SCALE,
+) -> ExperimentOutput:
+    return run_via_tasks(
+        "R1", days=days, seeds=seeds, population_scale=population_scale
     )

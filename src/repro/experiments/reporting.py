@@ -52,14 +52,42 @@ def generate_report(
     out: TextIO = sys.stdout,
     fast: bool = False,
     only: Optional[list[str]] = None,
+    runner=None,
+    timings: bool = True,
 ) -> list[ExperimentOutput]:
-    """Run experiments (all, or ``only``) and write their text to ``out``."""
+    """Run experiments (all, or ``only``) and write their text to ``out``.
+
+    With a :class:`repro.runner.ParallelRunner` as ``runner``, experiment
+    tasks fan out across its workers; the report is still assembled in the
+    fixed display order from partials merged in task-index order, so its
+    bytes do not depend on the worker count.  ``timings=False`` drops the
+    per-experiment wall-clock lines — pass it whenever two reports must be
+    comparable byte-for-byte (timing is scheduling noise, not a result).
+    """
     wanted = [e.upper() for e in only] if only else list(_ORDER)
     missing = [e for e in wanted if e not in registry]
     if missing:
         raise KeyError(f"unknown experiments: {missing}")
     # Anything registered but absent from the display order runs last.
     wanted += [e for e in sorted(registry) if e not in wanted and not only]
+
+    if runner is not None:
+        started = time.time()
+        outputs = runner.run_many(
+            [
+                (experiment_id, FAST_KNOBS.get(experiment_id, {}) if fast else {})
+                for experiment_id in wanted
+            ]
+        )
+        elapsed = time.time() - started
+        for output in outputs:
+            out.write(f"{output}\n\n")
+        out.flush()
+        if timings:
+            out.write(f"[{len(wanted)} experiments regenerated in {elapsed:.1f}s]\n")
+            out.flush()
+        return outputs
+
     outputs = []
     for experiment_id in wanted:
         knobs = FAST_KNOBS.get(experiment_id, {}) if fast else {}
@@ -68,6 +96,8 @@ def generate_report(
         elapsed = time.time() - started
         outputs.append(output)
         out.write(f"{output}\n")
-        out.write(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n\n")
+        if timings:
+            out.write(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+        out.write("\n")
         out.flush()
     return outputs

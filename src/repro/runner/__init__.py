@@ -1,0 +1,22 @@
+"""Parallel experiment execution: process-pool fan-out plus result caching.
+
+The runner treats every experiment as a list of independent tasks (declared
+via :func:`repro.experiments.base.register_tasks`, or a synthesized
+single-task plan) and executes them either inline (``jobs=1``) or across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Partial results are merged
+in task-index order, so the assembled output is byte-identical regardless of
+worker count or scheduling order.  An on-disk :class:`ResultCache` keyed by
+``(experiment, params-hash, seed, code-version)`` makes re-running a sweep
+recompute only what changed.
+"""
+
+from repro.runner.cache import CacheStats, ResultCache, code_version
+from repro.runner.parallel import ParallelRunner, resolve_jobs
+
+__all__ = [
+    "CacheStats",
+    "ParallelRunner",
+    "ResultCache",
+    "code_version",
+    "resolve_jobs",
+]

@@ -1,0 +1,141 @@
+"""On-disk result cache for experiment tasks.
+
+Layout: one pickle per task under the cache root, named by the hex cache
+key.  The key is ``sha256(experiment_id | params-json | seed | code-version)``
+where *params-json* is a canonical JSON rendering (sorted keys, tuples as
+lists) and *code-version* is a digest over every ``repro`` source file — so
+editing any module invalidates the whole cache rather than serving results
+computed by old code.
+
+The cache root resolves, in order: explicit argument, ``REPRO_CACHE_DIR``,
+``$XDG_CACHE_HOME/repro``, ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["CacheStats", "ResultCache", "code_version", "default_cache_dir"]
+
+_SUFFIX = ".pkl"
+_code_version_memo: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the installed ``repro`` package sources (memoized)."""
+    global _code_version_memo
+    if _code_version_memo is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical_params(params: dict) -> str:
+    """Stable JSON for hashing: sorted keys; tuples collapse to lists."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one runner invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses"
+
+
+@dataclass
+class ResultCache:
+    """Pickle-per-task cache; see module docstring for the key scheme."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    version: str = field(default_factory=code_version)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def key(self, experiment_id: str, params: dict, seed: int) -> str:
+        material = "\0".join(
+            [experiment_id, _canonical_params(params), str(int(seed)), self.version]
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def get(self, experiment_id: str, params: dict, seed: int) -> tuple[bool, Any]:
+        """``(hit, value)`` — a corrupt entry counts as a miss and is removed."""
+        path = self._path(self.key(experiment_id, params, seed))
+        if path.exists():
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except Exception:
+                path.unlink(missing_ok=True)
+            else:
+                self.stats.hits += 1
+                return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, experiment_id: str, params: dict, seed: int, value: Any) -> None:
+        """Store atomically (write-to-temp + rename) so readers never see torn files."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key(experiment_id, params, seed))
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=_SUFFIX + ".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    # -- maintenance ---------------------------------------------------------
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*{_SUFFIX}"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

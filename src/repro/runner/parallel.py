@@ -1,0 +1,121 @@
+"""The parallel runner: plan tasks, fan out, merge deterministically.
+
+Determinism contract: for a fixed experiment list and knobs, the merged
+outputs are byte-identical at any ``jobs`` value.  Three properties deliver
+it — every task carries its own seed (no shared RNG state), workers compute
+pure partials (no global mutation crosses back), and merging consumes
+partials strictly in task-index order (never completion order).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.base import (
+    ExperimentOutput,
+    ExperimentTask,
+    execute_task,
+    merge_tasks,
+    plan_tasks,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.worker import run_task
+
+__all__ = ["ParallelRunner", "resolve_jobs"]
+
+#: Environment override for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit value > ``REPRO_JOBS`` env > ``os.cpu_count()``; minimum 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+class ParallelRunner:
+    """Run experiments as task fan-outs with optional result caching.
+
+    ``jobs=1`` executes inline in this process (sharing the in-process
+    campaign memo exactly like the classic serial path); ``jobs>1`` uses a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  ``cache=None`` with
+    ``use_cache=True`` builds the default on-disk cache; ``use_cache=False``
+    disables caching entirely.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache: Optional[ResultCache] = (
+            cache if cache is not None else (ResultCache() if use_cache else None)
+        )
+
+    # -- public API ----------------------------------------------------------
+    def run(self, experiment_id: str, **knobs) -> ExperimentOutput:
+        """Run one experiment (its tasks still fan out across workers)."""
+        return self.run_many([(experiment_id, knobs)])[0]
+
+    def run_many(
+        self, requests: Sequence[tuple[str, dict]]
+    ) -> list[ExperimentOutput]:
+        """Run ``[(experiment_id, knobs), ...]``; outputs in request order."""
+        plans: list[list[ExperimentTask]] = [
+            plan_tasks(experiment_id, **knobs) for experiment_id, knobs in requests
+        ]
+        all_tasks = [task for tasks in plans for task in tasks]
+        partials = self._execute(all_tasks)
+
+        outputs = []
+        cursor = 0
+        for (experiment_id, knobs), tasks in zip(requests, plans):
+            chunk = partials[cursor : cursor + len(tasks)]
+            cursor += len(tasks)
+            outputs.append(merge_tasks(experiment_id, chunk, **knobs))
+        return outputs
+
+    @property
+    def cache_stats(self):
+        return self.cache.stats if self.cache is not None else None
+
+    # -- execution -----------------------------------------------------------
+    def _execute(self, tasks: Iterable[ExperimentTask]) -> list:
+        tasks = list(tasks)
+        results: list = [None] * len(tasks)
+        pending: list[tuple[int, ExperimentTask]] = []
+        for position, task in enumerate(tasks):
+            if self.cache is not None:
+                hit, value = self.cache.get(task.experiment_id, task.params, task.seed)
+                if hit:
+                    results[position] = value
+                    continue
+            pending.append((position, task))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [execute_task(task) for _position, task in pending]
+            else:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    computed = list(
+                        pool.map(run_task, [task for _position, task in pending])
+                    )
+            for (position, task), value in zip(pending, computed):
+                results[position] = value
+                if self.cache is not None:
+                    self.cache.put(task.experiment_id, task.params, task.seed, value)
+        return results

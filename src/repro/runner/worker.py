@@ -1,0 +1,22 @@
+"""The function that runs inside pool workers.
+
+Kept in its own module so only plain data (the :class:`ExperimentTask`)
+crosses the pickle boundary: the worker re-imports the experiment registry
+on its side and dispatches by id, which works under both fork and spawn
+start methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["run_task"]
+
+
+def run_task(task) -> Any:
+    """Execute one task and return its picklable partial result."""
+    # Importing the package (not just base) triggers experiment registration.
+    import repro.experiments  # noqa: F401
+    from repro.experiments.base import execute_task
+
+    return execute_task(task)

@@ -33,7 +33,7 @@ from repro.sim.process import (
     Timeout,
 )
 from repro.sim.resources import Request, Resource, Store
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 from repro.sim import distributions
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "Interrupt",
     "Process",
     "RandomStreams",
+    "derive_seed",
     "Request",
     "Resource",
     "SimulationError",

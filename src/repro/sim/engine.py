@@ -126,12 +126,26 @@ class Simulator:
                     raise target.value
                 return target.value
             # Absorb a failure so step() does not double-raise; run() raises.
-            target._add_callback(lambda e: setattr(e, "defused", True))
-            while self._heap and not target.processed:
-                try:
-                    self.step()
-                except StopSimulation:
-                    return None
+            def _absorb(e: Event) -> None:
+                e.defused = True
+
+            target._add_callback(_absorb)
+            try:
+                while self._heap and not target.processed:
+                    try:
+                        self.step()
+                    except StopSimulation:
+                        return None
+            finally:
+                # If we leave without processing the target (heap exhausted,
+                # StopSimulation, or an unrelated failure propagating out of
+                # step()), detach the absorber: otherwise a later failure of
+                # the event would be silently defused with nobody waiting.
+                if not target.processed and target.callbacks is not None:
+                    try:
+                        target.callbacks.remove(_absorb)
+                    except ValueError:
+                        pass
             if not target.processed:
                 raise SimulationError(
                     "run(until=event) exhausted the event heap before the "

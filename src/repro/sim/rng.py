@@ -12,7 +12,25 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "derive_seed"]
+
+#: Seeds are drawn from a 64-bit space; SHA-256 keeps the derivation stable
+#: across platforms and Python hash randomization (unlike ``hash()``).
+_SEED_BITS = 64
+
+
+def derive_seed(seed: int, key: str) -> int:
+    """Derive a child master seed from ``(seed, key)``.
+
+    The mapping is deterministic and collision-free for distinct keys (up to
+    the 64-bit birthday bound), so callers may derive one seed per task —
+    ``derive_seed(7, "R1:3")`` — and get the same stream no matter which
+    worker, in which order, eventually runs the task.  The separator differs
+    from the one :meth:`RandomStreams.stream` uses, so spawned-child seeds
+    never collide with named-stream entropy of the same parent.
+    """
+    digest = hashlib.sha256(f"{int(seed)}/{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[: _SEED_BITS // 8], "big")
 
 
 class RandomStreams:
@@ -40,6 +58,16 @@ class RandomStreams:
             )
             self._streams[name] = generator
         return generator
+
+    def spawn(self, key: str | int) -> "RandomStreams":
+        """A child factory with a seed derived from ``(self.seed, key)``.
+
+        Each child is an independent universe of named streams: replicate
+        ``k`` of a parallel sweep calls ``streams.spawn(k)`` and draws from
+        its own streams without perturbing (or depending on) any sibling,
+        regardless of the order in which the scheduler runs them.
+        """
+        return RandomStreams(seed=derive_seed(self.seed, str(key)))
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

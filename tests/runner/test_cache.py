@@ -1,0 +1,93 @@
+"""Tests for the on-disk result cache and its key scheme."""
+
+import pickle
+
+import pytest
+
+from repro.runner.cache import ResultCache, code_version, default_cache_dir
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+def test_round_trip(cache):
+    cache.put("T1", {"days": 5.0}, 1, {"answer": 42})
+    hit, value = cache.get("T1", {"days": 5.0}, 1)
+    assert hit and value == {"answer": 42}
+    assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+
+def test_miss_on_empty_cache(cache):
+    hit, value = cache.get("T1", {"days": 5.0}, 1)
+    assert not hit and value is None
+    assert cache.stats.misses == 1
+
+
+def test_key_depends_on_every_component(cache):
+    base = cache.key("T1", {"days": 5.0}, 1)
+    assert cache.key("T2", {"days": 5.0}, 1) != base
+    assert cache.key("T1", {"days": 6.0}, 1) != base
+    assert cache.key("T1", {"days": 5.0}, 2) != base
+    other_version = ResultCache(root=cache.root, version="deadbeef")
+    assert other_version.key("T1", {"days": 5.0}, 1) != base
+
+
+def test_key_is_insensitive_to_dict_ordering(cache):
+    a = cache.key("T1", {"days": 5.0, "seed": 3}, 1)
+    b = cache.key("T1", {"seed": 3, "days": 5.0}, 1)
+    assert a == b
+
+
+def test_key_distinguishes_tuple_knob_values(cache):
+    a = cache.key("R1", {"seeds": (1, 2)}, 1)
+    b = cache.key("R1", {"seeds": (1, 3)}, 1)
+    assert a != b
+
+
+def test_corrupt_entry_is_a_miss_and_removed(cache):
+    cache.put("T1", {}, 1, "value")
+    (entry,) = cache.entries()
+    entry.write_bytes(b"not a pickle")
+    hit, value = cache.get("T1", {}, 1)
+    assert not hit and value is None
+    assert cache.entries() == []
+
+
+def test_clear_removes_everything(cache):
+    for seed in range(3):
+        cache.put("T1", {}, seed, seed)
+    assert len(cache.entries()) == 3
+    assert cache.clear() == 3
+    assert cache.entries() == []
+    assert cache.size_bytes() == 0
+
+
+def test_put_overwrites_atomically(cache):
+    cache.put("T1", {}, 1, "old")
+    cache.put("T1", {}, 1, "new")
+    hit, value = cache.get("T1", {}, 1)
+    assert hit and value == "new"
+    # No leftover temp files from the write-and-rename protocol.
+    assert [p for p in cache.root.iterdir() if p.suffix == ".tmp"] == []
+
+
+def test_entries_are_loadable_pickles(cache):
+    cache.put("T1", {"days": 1.0}, 7, {"rows": [1, 2, 3]})
+    (entry,) = cache.entries()
+    with entry.open("rb") as handle:
+        assert pickle.load(handle) == {"rows": [1, 2, 3]}
+
+
+def test_code_version_is_stable_and_short():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+
+
+def test_default_cache_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro"

@@ -1,0 +1,137 @@
+"""Tests for the parallel runner: job resolution, task planning, caching."""
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentTask,
+    merge_tasks,
+    plan_tasks,
+    task_plans,
+)
+from repro.runner import ParallelRunner, ResultCache, resolve_jobs
+
+
+# -- worker-count resolution ---------------------------------------------------
+
+def test_explicit_jobs_win(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs(3) == 3
+
+
+def test_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+
+
+def test_env_must_be_integer(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        resolve_jobs()
+
+
+def test_default_is_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    import os
+
+    assert resolve_jobs() == max(1, os.cpu_count() or 1)
+
+
+def test_jobs_clamped_to_one():
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-4) == 1
+
+
+# -- task planning -------------------------------------------------------------
+
+def test_declared_plans_exist_for_replicate_experiments():
+    for experiment_id in ("R1", "A3", "F6"):
+        assert experiment_id in task_plans
+
+
+def test_r1_plans_one_task_per_seed():
+    tasks = plan_tasks("R1", days=3.0, seeds=(4, 9))
+    assert [task.seed for task in tasks] == [4, 9]
+    assert [task.index for task in tasks] == [0, 1]
+    assert all(task.experiment_id == "R1" for task in tasks)
+
+
+def test_undeclared_experiment_gets_single_task_plan():
+    tasks = plan_tasks("T1", days=2.0)
+    assert len(tasks) == 1
+    assert tasks[0].params["__whole__"] == "T1"
+
+
+def test_plan_tasks_rejects_unknown_experiment():
+    with pytest.raises(KeyError, match="Z9"):
+        plan_tasks("Z9")
+
+
+def test_merge_tasks_default_plan_unwraps_single_partial():
+    sentinel = object()
+    assert merge_tasks("T1", [sentinel]) is sentinel
+
+
+def test_tasks_are_picklable():
+    import pickle
+
+    task = ExperimentTask("R1", 0, {"days": 1.0, "seed": 3}, 3)
+    assert pickle.loads(pickle.dumps(task)) == task
+
+
+# -- execution + caching -------------------------------------------------------
+
+def test_cached_rerun_recomputes_nothing(tmp_path):
+    knobs = dict(days=1.0, seeds=(1, 2))
+    first = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    out_first = first.run("R1", **knobs)
+    assert first.cache_stats.misses == 2 and first.cache_stats.writes == 2
+
+    second = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    out_second = second.run("R1", **knobs)
+    assert second.cache_stats.hits == 2 and second.cache_stats.misses == 0
+    assert out_second.text == out_first.text
+    assert out_second.data == out_first.data
+
+
+def test_changed_knobs_miss_the_cache(tmp_path):
+    runner = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    runner.run("R1", days=1.0, seeds=(1,))
+    runner.run("R1", days=1.0, seeds=(2,))
+    assert runner.cache_stats.hits == 0
+    assert runner.cache_stats.misses == 2
+
+
+def test_partial_cache_overlap_only_computes_new_seeds(tmp_path):
+    warm = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    warm.run("R1", days=1.0, seeds=(1, 2))
+    extended = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    extended.run("R1", days=1.0, seeds=(1, 2, 3))
+    assert extended.cache_stats.hits == 2
+    assert extended.cache_stats.misses == 1
+
+
+def test_no_cache_mode_touches_no_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never-created"))
+    runner = ParallelRunner(jobs=1, use_cache=False)
+    runner.run("R1", days=1.0, seeds=(1,))
+    assert runner.cache_stats is None
+    assert not (tmp_path / "never-created").exists()
+
+
+def test_run_many_returns_outputs_in_request_order(tmp_path):
+    runner = ParallelRunner(jobs=1, cache=ResultCache(root=tmp_path))
+    outputs = runner.run_many(
+        [
+            ("F6", dict(days=1.0, coverages=(0.0, 1.0))),
+            ("R1", dict(days=1.0, seeds=(1,))),
+        ]
+    )
+    assert [output.experiment_id for output in outputs] == ["F6", "R1"]
+
+
+def test_pool_execution_matches_inline(tmp_path):
+    knobs = dict(days=1.0, seeds=(1, 2))
+    inline = ParallelRunner(jobs=1, use_cache=False).run("R1", **knobs)
+    pooled = ParallelRunner(jobs=2, use_cache=False).run("R1", **knobs)
+    assert pooled.text == inline.text
+    assert pooled.data == inline.data

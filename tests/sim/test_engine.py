@@ -98,6 +98,58 @@ def test_run_until_event_never_triggering_raises():
         sim.run(until=never)
 
 
+def test_exhausted_run_until_event_detaches_the_absorber():
+    """Regression: run(until=event) used to leave its failure-absorbing
+    callback attached after exhausting the heap, so a *later* failure of
+    that event was silently defused instead of raised."""
+    sim = Simulator()
+    never = sim.event()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    with pytest.raises(SimulationError):
+        sim.run(until=never)
+
+    never.fail(RuntimeError("late failure"))
+    with pytest.raises(RuntimeError, match="late failure"):
+        sim.run()
+
+
+def test_stop_simulation_during_run_until_event_detaches_the_absorber():
+    sim = Simulator()
+    target = sim.event()
+
+    def stopper(sim):
+        yield sim.timeout(1.0)
+        raise StopSimulation
+
+    sim.process(stopper(sim))
+    assert sim.run(until=target) is None
+
+    target.fail(RuntimeError("failed after stop"))
+    with pytest.raises(RuntimeError, match="failed after stop"):
+        sim.run()
+
+
+def test_run_until_failing_event_raises_exactly_once():
+    """The double-raise path: step() must stay silent (the absorber defuses
+    the failure) so run() is the single place the exception surfaces."""
+    sim = Simulator()
+    target = sim.event()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        target.fail(RuntimeError("boom"))
+
+    sim.process(failer(sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=target)
+    # The failure was delivered and defused; a further run() is clean.
+    assert sim.run() is None
+
+
 def test_unhandled_process_exception_raises_from_run():
     sim = Simulator()
 

@@ -51,3 +51,99 @@ def test_report_to_file(tmp_path, capsys):
     target = tmp_path / "report.txt"
     assert main(["report", "--fast", "--only", "A2", "--out", str(target)]) == 0
     assert "A2" in target.read_text()
+
+
+# -- run-all / parallel / caching ---------------------------------------------
+
+def _run_all(tmp_path, name, *extra):
+    target = tmp_path / name
+    code = main(
+        ["run-all", "--fast", "--only", "R1", "--out", str(target),
+         "--cache-dir", str(tmp_path / "cache"), *extra]
+    )
+    return code, target
+
+
+def test_run_all_writes_report_without_timing_lines(tmp_path, capsys):
+    code, target = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    text = target.read_text()
+    assert "R1" in text
+    assert "regenerated in" not in text  # timing is stderr-only noise
+    captured = capsys.readouterr()
+    assert "jobs=1" in captured.err
+    assert f"report written to {target}" in captured.out
+
+
+def test_run_all_cache_miss_then_hit(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "first.txt", "--jobs", "1")
+    assert code == 0
+    assert "3 misses" in capsys.readouterr().err  # R1 fast = 3 replicate tasks
+
+    code, _ = _run_all(tmp_path, "second.txt", "--jobs", "1")
+    assert code == 0
+    assert "3 hits, 0 misses" in capsys.readouterr().err
+
+
+def test_run_all_reports_are_byte_identical_across_jobs(tmp_path, capsys):
+    code, serial = _run_all(tmp_path, "serial.txt", "--jobs", "1", "--no-cache")
+    assert code == 0
+    code, parallel = _run_all(tmp_path, "parallel.txt", "--jobs", "2", "--no-cache")
+    assert code == 0
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_run_all_no_cache_skips_the_cache(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1", "--no-cache")
+    assert code == 0
+    assert "cache: off" in capsys.readouterr().err
+    assert not (tmp_path / "cache").exists()
+
+
+def test_run_all_unknown_experiment_fails(tmp_path, capsys):
+    code = main(["run-all", "--only", "ZZ", "--no-cache",
+                 "--out", str(tmp_path / "r.txt")])
+    assert code == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_run_with_jobs_and_cache_flags(tmp_path, capsys):
+    argv = ["run", "r1", "--days", "1", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    assert "R1" in capsys.readouterr().out
+    assert (tmp_path / "cache").is_dir()  # results were cached
+
+    assert main(argv) == 0  # second invocation served from cache
+    assert "R1" in capsys.readouterr().out
+
+
+def test_bad_repro_jobs_env_is_a_clean_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "garbage")
+    code = main(["run-all", "--fast", "--only", "R1", "--no-cache",
+                 "--out", str(tmp_path / "r.txt")])
+    assert code == 2
+    assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+def test_run_no_cache_flag(tmp_path, capsys):
+    assert main(["run", "r1", "--days", "1", "--jobs", "1", "--no-cache"]) == 0
+    assert "R1" in capsys.readouterr().out
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(["run", "r1", "--days", "1", "--jobs", "1",
+                 "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+    info = capsys.readouterr().out
+    assert str(cache_dir) in info
+    assert "entries:      5" in info  # R1 default seeds = 5 replicates
+
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 5 cached results" in capsys.readouterr().out
+
+    assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries:      0" in capsys.readouterr().out
