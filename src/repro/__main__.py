@@ -7,13 +7,23 @@ Usage::
     python -m repro run T1 --days 30    # ...with reduced horizon
     python -m repro run R1 --jobs 4     # fan its replicates over 4 workers
     python -m repro run-all --fast      # the full suite, parallel + cached
+    python -m repro run-all --resume 20260806-101500-ab12cd
     python -m repro cache info          # result-cache location and size
     python -m repro taxonomy            # print the modality taxonomy
 
 ``run-all`` and ``run`` accept ``--jobs N`` (default: ``REPRO_JOBS`` env,
-then CPU count) and ``--no-cache``.  ``run-all`` reports are written without
-timing lines so the bytes are identical at any ``--jobs`` value; the timing
-and cache summary go to stderr instead.
+then CPU count), ``--no-cache``, ``--task-timeout SECONDS`` and
+``--retries N``.  ``run-all`` additionally journals its progress under
+``<runs-dir>/<run-id>/journal.jsonl`` (``--runs-dir``, default ``runs/`` or
+``REPRO_RUNS_DIR``) so an interrupted sweep can be continued with
+``--resume <run-id>`` — completed tasks are skipped via the result cache
+and only pending or failed ones re-run.  Reports are written without
+timing lines so the bytes are identical at any ``--jobs`` value; timing,
+cache and fault-tolerance summaries go to stderr instead.
+
+Chaos testing: set ``REPRO_CHAOS=kill:p,hang:p,corrupt:p`` to inject
+worker kills, hangs and cache corruption; the sweep must still complete
+with byte-identical reports (that is the point).
 """
 
 from __future__ import annotations
@@ -30,15 +40,53 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
                         help="recompute every task; do not read or write the result cache")
     parser.add_argument("--cache-dir", default=None,
                         help="result-cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock limit per task; overruns are retried, "
+                             "then recorded as failures (default: unlimited)")
+    parser.add_argument("--retries", type=int, default=4, metavar="N",
+                        help="retries per task after transient failures — worker "
+                             "crashes and timeouts, never task exceptions (default: 4)")
 
 
-def _build_runner(args):
-    from repro.runner import ParallelRunner, ResultCache
+def _build_runner(args, journal=None, resume_keys=()):
+    from repro.runner import (
+        ParallelRunner,
+        ResultCache,
+        RetryPolicy,
+        chaos_from_env,
+    )
 
+    chaos_from_env()  # fail fast on a malformed REPRO_CHAOS spec
+    if args.retries < 0:
+        raise ValueError("--retries must be >= 0")
     cache = None
     if not args.no_cache and args.cache_dir:
         cache = ResultCache(root=args.cache_dir)
-    return ParallelRunner(jobs=args.jobs, cache=cache, use_cache=not args.no_cache)
+    return ParallelRunner(
+        jobs=args.jobs,
+        cache=cache,
+        use_cache=not args.no_cache,
+        task_timeout=args.task_timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        journal=journal,
+        resume_keys=resume_keys,
+    )
+
+
+def _fault_note(runner) -> str:
+    """Stderr-only fault-tolerance summary (empty when nothing happened)."""
+    parts = []
+    if runner.retries:
+        parts.append(f"retries: {runner.retries}")
+    if runner.pool_deaths:
+        parts.append(f"pool-deaths: {runner.pool_deaths}")
+    if runner.degraded_tasks:
+        parts.append(f"degraded: {len(runner.degraded_tasks)}")
+    if runner.resume_skipped:
+        parts.append(f"resumed: {runner.resume_skipped} skipped")
+    if runner.failures:
+        parts.append(f"failed: {len(runner.failures)}")
+    return (", " + ", ".join(parts)) if parts else ""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,7 +111,8 @@ def main(argv: list[str] | None = None) -> int:
 
     run_all_parser = sub.add_parser(
         "run-all",
-        help="regenerate the report with parallel workers and result caching",
+        help="regenerate the report with parallel workers, caching and "
+             "a resumable run journal",
     )
     run_all_parser.add_argument("--fast", action="store_true",
                                 help="reduced horizons (smoke report)")
@@ -71,6 +120,13 @@ def main(argv: list[str] | None = None) -> int:
                                 help="write to a file instead of stdout")
     run_all_parser.add_argument("--only", nargs="*", default=None,
                                 help="subset of experiment ids")
+    run_all_parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                                help="continue an interrupted run: skip tasks its "
+                                     "journal records as completed")
+    run_all_parser.add_argument("--runs-dir", default=None,
+                                help="run-journal directory (default: REPRO_RUNS_DIR or ./runs)")
+    run_all_parser.add_argument("--no-journal", action="store_true",
+                                help="do not write a run journal (run cannot be resumed)")
     _add_parallel_flags(run_all_parser)
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -105,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
             entries = cache.entries()
             print(f"cache dir:    {cache.root}")
             print(f"entries:      {len(entries)}")
+            print(f"quarantined:  {len(cache.quarantined_entries())}")
             print(f"size:         {cache.size_bytes()} bytes")
             print(f"code version: {cache.version}")
         return 0
@@ -129,13 +186,43 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
-        from repro.experiments.reporting import generate_report
+        from pathlib import Path
 
+        from repro.experiments.reporting import generate_report
+        from repro.runner import RunJournal, default_runs_dir
+
+        runs_dir = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+        journal = None
+        resume_keys: frozenset[str] = frozenset()
         try:
-            runner = _build_runner(args)
-        except ValueError as exc:
+            if args.resume:
+                if args.no_cache:
+                    raise ValueError(
+                        "--resume needs the result cache (completed tasks are "
+                        "served from it); drop --no-cache"
+                    )
+                if args.no_journal:
+                    raise ValueError("--resume and --no-journal are contradictory")
+                journal = RunJournal.resume(runs_dir, args.resume)
+                resume_keys = journal.completed_keys()
+            elif not args.no_journal:
+                journal = RunJournal.create(runs_dir)
+            runner = _build_runner(args, journal=journal, resume_keys=resume_keys)
+        except (ValueError, FileNotFoundError) as exc:
             print(exc, file=sys.stderr)
             return 2
+
+        if journal is not None:
+            journal.record(
+                "run-started",
+                run_id=journal.run_id,
+                only=args.only,
+                fast=args.fast,
+                jobs=runner.jobs,
+                resumed=bool(args.resume),
+            )
+            print(f"[run {journal.run_id}: journal at {journal.path}]",
+                  file=sys.stderr)
         started = time.time()
         try:
             if args.out:
@@ -152,17 +239,39 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
+        except Exception as exc:
+            # Containment of last resort: report, never traceback-crash.
+            print(f"run-all failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if journal is not None:
+                journal.close()
         elapsed = time.time() - started
         stats = runner.cache_stats
         cache_note = f", cache: {stats}" if stats is not None else ", cache: off"
         print(
             f"[run-all: {len(outputs)} experiments, jobs={runner.jobs}"
-            f"{cache_note}, {elapsed:.1f}s]",
+            f"{cache_note}{_fault_note(runner)}, {elapsed:.1f}s]",
             file=sys.stderr,
         )
+        for failure in runner.failures:
+            print(f"[task failed] {failure.experiment_id}: {failure.describe()}",
+                  file=sys.stderr)
+        if journal is not None:
+            with journal:
+                journal.record(
+                    "run-completed",
+                    run_id=journal.run_id,
+                    experiments=len(outputs),
+                    failures=len(runner.failures),
+                    retries=runner.retries,
+                    pool_deaths=runner.pool_deaths,
+                    degraded=len(runner.degraded_tasks),
+                    resumed_skipped=runner.resume_skipped,
+                )
         if args.out:
             print(f"report written to {args.out}")
-        return 0
+        return 3 if runner.failures else 0
 
     knobs = {}
     if args.days is not None:
@@ -171,10 +280,17 @@ def main(argv: list[str] | None = None) -> int:
         knobs["seed"] = args.seed
     use_runner = (
         args.jobs is not None or args.no_cache or args.cache_dir is not None
+        or args.task_timeout is not None
     )
     try:
         if use_runner:
-            output = _build_runner(args).run(args.experiment_id.upper(), **knobs)
+            runner = _build_runner(args)
+            output = runner.run(args.experiment_id.upper(), **knobs)
+            if runner.failures:
+                print(output)
+                for failure in runner.failures:
+                    print(f"[task failed] {failure.describe()}", file=sys.stderr)
+                return 3
         else:
             output = run_experiment(args.experiment_id.upper(), **knobs)
     except (KeyError, ValueError) as exc:

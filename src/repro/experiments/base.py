@@ -37,6 +37,7 @@ __all__ = [
     "run_experiment",
     "run_via_tasks",
     "plan_tasks",
+    "plan_timeout",
     "execute_task",
     "merge_tasks",
     "campaign",
@@ -108,11 +109,18 @@ class ExperimentTask:
 
 @dataclass(frozen=True)
 class TaskPlan:
-    """A declared decomposition of one experiment into tasks."""
+    """A declared decomposition of one experiment into tasks.
+
+    ``timeout`` (wall-clock seconds per task) overrides the runner-level
+    ``--task-timeout`` for this experiment's tasks — long fault-injected
+    campaigns legitimately need more rope than a quick table regeneration.
+    ``None`` defers to the runner's default.
+    """
 
     plan: Callable[..., list[ExperimentTask]]
     execute: Callable[[dict], Any]
     merge: Callable[..., ExperimentOutput]
+    timeout: Optional[float] = None
 
 
 task_plans: dict[str, TaskPlan] = {}
@@ -123,11 +131,22 @@ def register_tasks(
     plan: Callable[..., list[ExperimentTask]],
     execute: Callable[[dict], Any],
     merge: Callable[..., ExperimentOutput],
+    timeout: Optional[float] = None,
 ) -> None:
     """Declare ``experiment_id``'s task decomposition (see module docstring)."""
     if experiment_id in task_plans:
         raise ValueError(f"duplicate task plan for {experiment_id!r}")
-    task_plans[experiment_id] = TaskPlan(plan=plan, execute=execute, merge=merge)
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"{experiment_id}: task timeout must be positive")
+    task_plans[experiment_id] = TaskPlan(
+        plan=plan, execute=execute, merge=merge, timeout=timeout
+    )
+
+
+def plan_timeout(experiment_id: str) -> Optional[float]:
+    """The experiment's declared per-task timeout override (None = defer)."""
+    declared = task_plans.get(experiment_id)
+    return declared.timeout if declared is not None else None
 
 
 def _default_plan(experiment_id: str, **knobs) -> list[ExperimentTask]:

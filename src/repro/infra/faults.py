@@ -25,8 +25,12 @@ class NodeFailureInjector:
 
     ``node_mtbf`` is the mean time between failures of a *single node*; the
     instantaneous kill rate is ``busy_nodes / node_mtbf``.  The injector
-    polls at ``tick`` resolution (thinning a Poisson process), which keeps it
-    independent of the scheduler's internals.
+    polls at ``tick`` resolution and draws the number of strikes per tick
+    from the matching Poisson distribution — several nodes can fail in one
+    interval, so several distinct jobs can die in one tick (capping at one
+    kill per tick would systematically undercount failures on large busy
+    machines).  Victims are node-weighted without replacement; the draw is
+    fully determined by the supplied generator, so runs are seed-stable.
     """
 
     def __init__(
@@ -54,14 +58,23 @@ class NodeFailureInjector:
             if not running:
                 continue
             busy_nodes = sum(entry.nodes for entry in running)
-            # Probability at least one of the busy nodes fails this tick.
-            p_failure = 1.0 - np.exp(-busy_nodes * self.tick / self.node_mtbf)
-            if self.rng.random() >= p_failure:
+            # Strikes this tick ~ Poisson(busy-node failure rate * tick); a
+            # strike on an already-dead job's node is absorbed by the cap.
+            strikes = int(
+                self.rng.poisson(busy_nodes * self.tick / self.node_mtbf)
+            )
+            if strikes == 0:
                 continue
-            # The victim is node-weighted: big jobs absorb more failures.
+            strikes = min(strikes, len(running))
+            # Victims are node-weighted: big jobs absorb more failures.
             weights = np.array([entry.nodes for entry in running], dtype=float)
-            victim = running[
-                int(self.rng.choice(len(running), p=weights / weights.sum()))
-            ]
-            victim.runner.interrupt("node_failure")
-            self.failures_injected += 1
+            victims = self.rng.choice(
+                len(running), size=strikes, replace=False,
+                p=weights / weights.sum(),
+            )
+            # Interrupts are deferred (URGENT events), so killing several
+            # victims in one pass is safe; sorted order keeps the event
+            # sequence independent of choice()'s internal permutation.
+            for index in np.sort(victims):
+                running[int(index)].runner.interrupt("node_failure")
+                self.failures_injected += 1

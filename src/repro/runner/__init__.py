@@ -1,4 +1,4 @@
-"""Parallel experiment execution: process-pool fan-out plus result caching.
+"""Parallel experiment execution: fault-tolerant fan-out plus result caching.
 
 The runner treats every experiment as a list of independent tasks (declared
 via :func:`repro.experiments.base.register_tasks`, or a synthesized
@@ -8,15 +8,35 @@ in task-index order, so the assembled output is byte-identical regardless of
 worker count or scheduling order.  An on-disk :class:`ResultCache` keyed by
 ``(experiment, params-hash, seed, code-version)`` makes re-running a sweep
 recompute only what changed.
+
+Fault tolerance (see :mod:`repro.runner.parallel` for the full contract):
+transient infrastructure failures — killed workers, wall-clock timeouts,
+wedged pools — are retried with deterministic backoff and ultimately
+degraded to in-process execution, so they never change the output bytes;
+task exceptions are contained as structured :class:`TaskFailure` records; a
+:class:`RunJournal` makes interrupted sweeps resumable; and the
+:mod:`repro.runner.chaos` harness (``REPRO_CHAOS=kill:p,hang:p,corrupt:p``)
+injects exactly these failures to prove it.
 """
 
 from repro.runner.cache import CacheStats, ResultCache, code_version
+from repro.runner.chaos import ChaosConfig, chaos_from_env
+from repro.runner.journal import RunJournal, default_runs_dir, new_run_id, task_key
 from repro.runner.parallel import ParallelRunner, resolve_jobs
+from repro.runner.retry import RetryPolicy, TaskFailure
 
 __all__ = [
     "CacheStats",
+    "ChaosConfig",
     "ParallelRunner",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "TaskFailure",
+    "chaos_from_env",
     "code_version",
+    "default_runs_dir",
+    "new_run_id",
     "resolve_jobs",
+    "task_key",
 ]

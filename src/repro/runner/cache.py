@@ -1,11 +1,24 @@
 """On-disk result cache for experiment tasks.
 
-Layout: one pickle per task under the cache root, named by the hex cache
-key.  The key is ``sha256(experiment_id | params-json | seed | code-version)``
-where *params-json* is a canonical JSON rendering (sorted keys, tuples as
-lists) and *code-version* is a digest over every ``repro`` source file — so
-editing any module invalidates the whole cache rather than serving results
-computed by old code.
+Layout: one checksummed pickle per task under the cache root, named by the
+hex cache key.  The key is ``sha256(experiment_id | params-json | seed |
+code-version)`` where *params-json* is a canonical JSON rendering (sorted
+keys, tuples as lists) and *code-version* is a digest over every ``repro``
+source file — so editing any module invalidates the whole cache rather than
+serving results computed by old code.
+
+Entry format (robustness first — the cache must never crash a sweep):
+
+* bytes 0–3: magic ``b"RPC1"``;
+* bytes 4–35: SHA-256 of the payload;
+* bytes 36–: the pickled payload.
+
+Reads verify the checksum; a damaged or foreign entry is **quarantined**
+(moved into ``<root>/quarantine/``) and counted, never raised — the caller
+just sees a miss and recomputes.  Writes go to a temp file *in the cache
+directory* (same filesystem, so the final rename is atomic), are fsynced
+before the rename, and the directory is fsynced after it: a crash mid-write
+can never leave a torn entry behind.
 
 The cache root resolves, in order: explicit argument, ``REPRO_CACHE_DIR``,
 ``$XDG_CACHE_HOME/repro``, ``~/.cache/repro``.
@@ -22,9 +35,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
-__all__ = ["CacheStats", "ResultCache", "code_version", "default_cache_dir"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "canonical_params",
+    "code_version",
+    "default_cache_dir",
+    "read_entry",
+]
 
 _SUFFIX = ".pkl"
+_MAGIC = b"RPC1"
+_DIGEST_BYTES = 32
+QUARANTINE_DIR = "quarantine"
 _code_version_memo: Optional[str] = None
 
 
@@ -54,26 +77,42 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
-def _canonical_params(params: dict) -> str:
+def canonical_params(params: dict) -> str:
     """Stable JSON for hashing: sorted keys; tuples collapse to lists."""
     return json.dumps(params, sort_keys=True, separators=(",", ":"), default=repr)
 
 
+def read_entry(path: Path) -> Any:
+    """Load one checksummed entry; raises ``ValueError`` on any damage."""
+    blob = Path(path).read_bytes()
+    if len(blob) < len(_MAGIC) + _DIGEST_BYTES or not blob.startswith(_MAGIC):
+        raise ValueError(f"{path}: not a checksummed cache entry")
+    digest = blob[len(_MAGIC) : len(_MAGIC) + _DIGEST_BYTES]
+    payload = blob[len(_MAGIC) + _DIGEST_BYTES :]
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError(f"{path}: checksum mismatch")
+    return pickle.loads(payload)
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters for one runner invocation."""
+    """Hit/miss/write/quarantine counters for one runner invocation."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    quarantined: int = 0
 
     def __str__(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses"
+        text = f"{self.hits} hits, {self.misses} misses"
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
 
 
 @dataclass
 class ResultCache:
-    """Pickle-per-task cache; see module docstring for the key scheme."""
+    """Checksummed pickle-per-task cache; see module docstring."""
 
     root: Path = field(default_factory=default_cache_dir)
     version: str = field(default_factory=code_version)
@@ -84,37 +123,66 @@ class ResultCache:
 
     def key(self, experiment_id: str, params: dict, seed: int) -> str:
         material = "\0".join(
-            [experiment_id, _canonical_params(params), str(int(seed)), self.version]
+            [experiment_id, canonical_params(params), str(int(seed)), self.version]
         )
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
     def get(self, experiment_id: str, params: dict, seed: int) -> tuple[bool, Any]:
-        """``(hit, value)`` — a corrupt entry counts as a miss and is removed."""
+        """``(hit, value)`` — a damaged entry is quarantined and is a miss."""
         path = self._path(self.key(experiment_id, params, seed))
         if path.exists():
             try:
-                with path.open("rb") as handle:
-                    value = pickle.load(handle)
+                value = read_entry(path)
             except Exception:
-                path.unlink(missing_ok=True)
+                self._quarantine(path)
             else:
                 self.stats.hits += 1
                 return True, value
         self.stats.misses += 1
         return False, None
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside (forensics beat deletion) and count it."""
+        self.stats.quarantined += 1
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_root / path.name)
+        except OSError:
+            # Quarantine is best-effort; never let it raise into a sweep.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
     def put(self, experiment_id: str, params: dict, seed: int, value: Any) -> None:
-        """Store atomically (write-to-temp + rename) so readers never see torn files."""
+        """Store atomically: temp file in the cache dir, fsync, rename, fsync.
+
+        The temp file lives in the cache directory itself so the final
+        ``os.replace`` stays on one filesystem (rename atomicity); the entry
+        is fsynced before the rename and the directory after, so a crash at
+        any instant leaves either the old state or the complete new entry —
+        never a torn one.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(self.key(experiment_id, params, seed))
+        key = self.key(experiment_id, params, seed)
+        path = self._path(key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=_SUFFIX + ".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
+            self._fsync_dir()
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -122,6 +190,25 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        self._chaos_corrupt(path, key)
+
+    def _fsync_dir(self) -> None:
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. platforms without dir fds
+            return
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def _chaos_corrupt(self, path: Path, key: str) -> None:
+        """Chaos-harness hook: maybe damage the entry we just wrote."""
+        from repro.runner.chaos import chaos_from_env, maybe_corrupt_entry
+
+        config = chaos_from_env()
+        if config.corrupt:
+            maybe_corrupt_entry(config, path, key)
 
     # -- maintenance ---------------------------------------------------------
     def entries(self) -> list[Path]:
@@ -129,13 +216,18 @@ class ResultCache:
             return []
         return sorted(self.root.glob(f"*{_SUFFIX}"))
 
+    def quarantined_entries(self) -> list[Path]:
+        if not self.quarantine_root.is_dir():
+            return []
+        return sorted(self.quarantine_root.glob(f"*{_SUFFIX}"))
+
     def size_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined ones included); returns the count."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.quarantined_entries():
             path.unlink(missing_ok=True)
             removed += 1
         return removed

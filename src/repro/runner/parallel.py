@@ -1,16 +1,42 @@
-"""The parallel runner: plan tasks, fan out, merge deterministically.
+"""The fault-tolerant parallel runner: plan tasks, fan out, survive, merge.
 
 Determinism contract: for a fixed experiment list and knobs, the merged
 outputs are byte-identical at any ``jobs`` value.  Three properties deliver
 it — every task carries its own seed (no shared RNG state), workers compute
 pure partials (no global mutation crosses back), and merging consumes
 partials strictly in task-index order (never completion order).
+
+Fault-tolerance contract (the reason this module looks the way it does):
+
+* **Transient failures are invisible in the output.**  A killed worker
+  (``BrokenProcessPool``), a task that blew its wall-clock limit, or a
+  wedged pool is retried under a :class:`~repro.runner.retry.RetryPolicy`
+  (bounded attempts, exponential backoff, deterministic jitter).  When the
+  retries are exhausted, the task gets one final *degraded* attempt inline
+  in this process — so infrastructure trouble can slow a sweep down but
+  never change its bytes.
+* **Task exceptions are contained, never retried.**  The task's own raise
+  is deterministic; it is recorded as a structured
+  :class:`~repro.runner.retry.TaskFailure` and the experiment it belongs to
+  renders a failure report instead of a merged table.  The sweep — and the
+  CLI — always finish.
+* **Pools are cattle.**  A dead pool is torn down (workers killed) and a
+  fresh one built; after ``max_pool_deaths`` deaths the runner stops
+  trusting pools entirely and finishes the sweep serially in-process.
+* **Progress is durable.**  With a :class:`~repro.runner.journal.RunJournal`
+  attached, every task start/completion/failure is fsynced to
+  ``runs/<run-id>/journal.jsonl``; ``run-all --resume <run-id>`` skips
+  recorded completions (values come from the result cache) and re-runs
+  only pending or failed tasks.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict
 from typing import Iterable, Optional, Sequence
 
 from repro.experiments.base import (
@@ -19,14 +45,33 @@ from repro.experiments.base import (
     execute_task,
     merge_tasks,
     plan_tasks,
+    plan_timeout,
 )
 from repro.runner.cache import ResultCache
-from repro.runner.worker import run_task
+from repro.runner.journal import RunJournal, task_key
+from repro.runner.retry import (
+    FAILURE_EXCEPTION,
+    FAILURE_TIMEOUT,
+    FAILURE_WORKER_CRASH,
+    RetryPolicy,
+    TaskFailure,
+    TaskTimeout,
+    wall_clock_limit,
+)
+from repro.runner.worker import (
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    WorkerSpec,
+    run_task_hardened,
+)
 
 __all__ = ["ParallelRunner", "resolve_jobs"]
 
 #: Environment override for the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Pool deaths tolerated before permanently degrading to serial execution.
+MAX_POOL_DEATHS = 5
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -46,13 +91,19 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 class ParallelRunner:
-    """Run experiments as task fan-outs with optional result caching.
+    """Run experiments as task fan-outs with caching and fault tolerance.
 
     ``jobs=1`` executes inline in this process (sharing the in-process
     campaign memo exactly like the classic serial path); ``jobs>1`` uses a
-    :class:`~concurrent.futures.ProcessPoolExecutor`.  ``cache=None`` with
-    ``use_cache=True`` builds the default on-disk cache; ``use_cache=False``
-    disables caching entirely.
+    :class:`~concurrent.futures.ProcessPoolExecutor` with crash containment.
+    ``cache=None`` with ``use_cache=True`` builds the default on-disk cache;
+    ``use_cache=False`` disables caching entirely.
+
+    ``task_timeout`` is the default wall-clock limit per task (seconds);
+    an experiment's :func:`~repro.experiments.base.register_tasks` override
+    wins where declared.  ``retry`` bounds transient-failure retries;
+    ``journal``/``resume_keys`` wire up durable progress (see module
+    docstring).
     """
 
     def __init__(
@@ -60,11 +111,29 @@ class ParallelRunner:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
+        task_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        resume_keys: Iterable[str] = (),
+        max_pool_deaths: int = MAX_POOL_DEATHS,
     ) -> None:
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[ResultCache] = (
             cache if cache is not None else (ResultCache() if use_cache else None)
         )
+        self.task_timeout = task_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
+        self.resume_keys = frozenset(resume_keys)
+        self.max_pool_deaths = max(1, int(max_pool_deaths))
+        # -- per-runner telemetry (surfaced on stderr by the CLI) --
+        self.failures: list[TaskFailure] = []
+        self.degraded_tasks: list[str] = []
+        self.pool_deaths = 0
+        self.retries = 0
+        self.resume_skipped = 0
 
     # -- public API ----------------------------------------------------------
     def run(self, experiment_id: str, **knobs) -> ExperimentOutput:
@@ -74,7 +143,12 @@ class ParallelRunner:
     def run_many(
         self, requests: Sequence[tuple[str, dict]]
     ) -> list[ExperimentOutput]:
-        """Run ``[(experiment_id, knobs), ...]``; outputs in request order."""
+        """Run ``[(experiment_id, knobs), ...]``; outputs in request order.
+
+        Experiments whose tasks recorded a :class:`TaskFailure` render a
+        failure report in place of their merged output — one broken
+        experiment never aborts the rest of the sweep.
+        """
         plans: list[list[ExperimentTask]] = [
             plan_tasks(experiment_id, **knobs) for experiment_id, knobs in requests
         ]
@@ -86,7 +160,10 @@ class ParallelRunner:
         for (experiment_id, knobs), tasks in zip(requests, plans):
             chunk = partials[cursor : cursor + len(tasks)]
             cursor += len(tasks)
-            outputs.append(merge_tasks(experiment_id, chunk, **knobs))
+            if any(isinstance(partial, TaskFailure) for partial in chunk):
+                outputs.append(self._failure_output(experiment_id, chunk))
+            else:
+                outputs.append(merge_tasks(experiment_id, chunk, **knobs))
         return outputs
 
     @property
@@ -96,26 +173,339 @@ class ParallelRunner:
     # -- execution -----------------------------------------------------------
     def _execute(self, tasks: Iterable[ExperimentTask]) -> list:
         tasks = list(tasks)
-        results: list = [None] * len(tasks)
+        sink: dict[int, object] = {}
         pending: list[tuple[int, ExperimentTask]] = []
         for position, task in enumerate(tasks):
+            key = self._key(task)
             if self.cache is not None:
                 hit, value = self.cache.get(task.experiment_id, task.params, task.seed)
                 if hit:
-                    results[position] = value
+                    sink[position] = value
+                    resumed = key in self.resume_keys
+                    if resumed:
+                        self.resume_skipped += 1
+                    self._journal(
+                        "task-completed", task, key,
+                        attempts=0, cached=True, resumed=resumed,
+                    )
                     continue
             pending.append((position, task))
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                computed = [execute_task(task) for _position, task in pending]
+            if self.jobs == 1:
+                for position, task in pending:
+                    self._run_inline(position, task, sink)
             else:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    computed = list(
-                        pool.map(run_task, [task for _position, task in pending])
+                self._run_pool(pending, sink)
+        return [sink[position] for position in range(len(tasks))]
+
+    # -- inline (jobs=1) path -------------------------------------------------
+    def _run_inline(self, position: int, task: ExperimentTask, sink: dict) -> None:
+        """Serial execution with the same containment guarantees as the pool.
+
+        Worker crashes cannot happen here; timeouts are enforced with the
+        shared alarm-based limit and retried under the policy (wall-clock
+        overruns can be environmental), task exceptions are recorded.
+        """
+        key = self._key(task)
+        timeout = self._timeout_for(task)
+        attempt = 0
+        while True:
+            attempt += 1
+            self._journal("task-started", task, key, attempt=attempt, mode="inline")
+            try:
+                with wall_clock_limit(timeout):
+                    value = execute_task(task)
+            except TaskTimeout as exc:
+                if self.retry.should_retry(FAILURE_TIMEOUT, attempt):
+                    self.retries += 1
+                    time.sleep(self.retry.delay(key, attempt))
+                    continue
+                value = self._failure(task, FAILURE_TIMEOUT, attempt, message=str(exc))
+            except Exception as exc:
+                value = self._failure(
+                    task, FAILURE_EXCEPTION, attempt,
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+            self._complete(position, task, key, value, attempts=attempt, sink=sink)
+            return
+
+    # -- pool path -------------------------------------------------------------
+    def _run_pool(
+        self, pending: Sequence[tuple[int, ExperimentTask]], sink: dict
+    ) -> None:
+        queue: deque[tuple[int, ExperimentTask, int]] = deque(
+            (position, task, 1) for position, task in pending
+        )
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while queue:
+                if self.pool_deaths >= self.max_pool_deaths:
+                    # The pool machinery has proven itself untrustworthy on
+                    # this host; finish the sweep serially in-process.
+                    while queue:
+                        position, task, attempt = queue.popleft()
+                        self._degrade(position, task, attempt, sink)
+                    break
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                requeue = self._run_round(pool, queue, sink)
+                if self._pool_broken:
+                    self._kill_pool(pool)
+                    pool = None
+                    self.pool_deaths += 1
+                if requeue:
+                    self.retries += len(requeue)
+                    # One deterministic backoff per round: the longest of the
+                    # requeued tasks' jittered delays.
+                    time.sleep(
+                        max(
+                            self.retry.delay(self._key(task), attempt)
+                            for _position, task, attempt in requeue
+                        )
                     )
-            for (position, task), value in zip(pending, computed):
-                results[position] = value
-                if self.cache is not None:
-                    self.cache.put(task.experiment_id, task.params, task.seed, value)
-        return results
+                    queue.extend(
+                        (position, task, attempt + 1)
+                        for position, task, attempt in requeue
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_round(
+        self,
+        pool: ProcessPoolExecutor,
+        queue: deque,
+        sink: dict,
+    ) -> list[tuple[int, ExperimentTask, int]]:
+        """Submit everything queued; collect until done or the pool breaks.
+
+        Returns the transient failures to retry.  Sets ``self._pool_broken``
+        when the pool must be killed and rebuilt.
+        """
+        self._pool_broken = False
+        batch = list(queue)
+        queue.clear()
+        future_map = {}
+        requeue: list[tuple[int, ExperimentTask, int]] = []
+        for batch_index, (position, task, attempt) in enumerate(batch):
+            key = self._key(task)
+            self._journal("task-started", task, key, attempt=attempt, mode="pool")
+            spec = WorkerSpec(
+                task=task,
+                timeout=self._timeout_for(task),
+                attempt=attempt,
+                task_key=key,
+            )
+            try:
+                future = pool.submit(run_task_hardened, spec)
+            except Exception as exc:
+                # A worker can die *while the batch is being submitted*, at
+                # which point submit itself raises BrokenProcessPool.  Treat
+                # the unsubmitted remainder as crash victims; the futures
+                # already in flight surface the same breakage below.
+                self._pool_broken = True
+                self._note_transient(
+                    batch[batch_index:], requeue, sink, FAILURE_WORKER_CRASH,
+                    f"worker pool broke during submission: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                break
+            future_map[future] = (position, task, attempt)
+
+        outstanding = set(future_map)
+        while outstanding:
+            done, _not_done = wait(
+                outstanding,
+                timeout=self._watchdog(future_map, outstanding),
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # Driver-side watchdog: nothing finished in far longer than
+                # any task limit — a worker is wedged beyond SIGALRM's reach
+                # (stuck C code).  Kill the pool; retry everything in flight.
+                self._pool_broken = True
+                self._note_transient(
+                    (future_map[f] for f in outstanding),
+                    requeue, sink, FAILURE_TIMEOUT,
+                    "pool watchdog expired (wedged worker)",
+                )
+                return requeue
+            for future in done:
+                outstanding.discard(future)
+                position, task, attempt = future_map[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # includes BrokenProcessPool
+                    # A raising future is always infrastructure damage (task
+                    # exceptions come back *inside* a WorkerOutcome): every
+                    # future still in flight on this pool is suspect too.
+                    self._pool_broken = True
+                    victims = [(position, task, attempt)] + [
+                        future_map[f] for f in outstanding
+                    ]
+                    self._note_transient(
+                        victims, requeue, sink, FAILURE_WORKER_CRASH,
+                        f"worker pool broke: {type(exc).__name__}: {exc}",
+                    )
+                    return requeue
+                self._absorb_outcome(
+                    position, task, attempt, outcome, requeue, sink
+                )
+        return requeue
+
+    def _absorb_outcome(
+        self, position, task, attempt, outcome, requeue, sink
+    ) -> None:
+        key = self._key(task)
+        if outcome.status == OUTCOME_OK:
+            self._complete(position, task, key, outcome.value,
+                           attempts=attempt, sink=sink)
+        elif outcome.status == OUTCOME_TIMEOUT:
+            self._note_transient(
+                [(position, task, attempt)], requeue, sink,
+                FAILURE_TIMEOUT, outcome.message,
+            )
+        else:  # the task's own exception: contained, never retried
+            value = self._failure(
+                task, FAILURE_EXCEPTION, attempt,
+                error_type=outcome.error_type, message=outcome.message,
+            )
+            self._complete(position, task, key, value, attempts=attempt, sink=sink)
+
+    def _note_transient(self, entries, requeue, sink, kind, message) -> None:
+        """Route transient failures: retry if budget remains, else degrade."""
+        for position, task, attempt in entries:
+            if self.retry.should_retry(kind, attempt):
+                requeue.append((position, task, attempt))
+            else:
+                self._degrade(
+                    position, task, attempt + 1, sink, kind=kind, message=message
+                )
+
+    def _degrade(
+        self, position, task, attempt, sink, kind=None, message=""
+    ) -> None:
+        """Last resort: run the task inline, immune to worker trouble.
+
+        Chaos kill/hang injections are gated to child processes, and a
+        worker crash cannot take this process down — so degraded execution
+        completes the sweep with byte-identical results whenever the task
+        itself is healthy.  Only a genuine in-task raise or an inline
+        timeout still produces a :class:`TaskFailure`.
+        """
+        key = self._key(task)
+        self.degraded_tasks.append(key)
+        self._journal("task-started", task, key, attempt=attempt, mode="degraded")
+        try:
+            with wall_clock_limit(self._timeout_for(task)):
+                value = execute_task(task)
+        except TaskTimeout as exc:
+            value = self._failure(task, FAILURE_TIMEOUT, attempt, message=str(exc))
+        except Exception as exc:
+            value = self._failure(
+                task, FAILURE_EXCEPTION, attempt,
+                error_type=type(exc).__name__, message=str(exc),
+            )
+        self._complete(
+            position, task, key, value, attempts=attempt, sink=sink, degraded=True
+        )
+
+    # -- shared bookkeeping -----------------------------------------------------
+    def _complete(
+        self, position, task, key, value, attempts, sink, degraded=False
+    ) -> None:
+        """Record one task's final value (result or failure) everywhere.
+
+        Runs at completion time — not at sweep end — so the cache and the
+        journal always reflect finished work even if this process is
+        SIGKILLed a moment later; that is what makes ``--resume`` re-run
+        only incomplete tasks.
+        """
+        sink[position] = value
+        if isinstance(value, TaskFailure):
+            self.failures.append(value)
+            self._journal(
+                "task-failed", task, key,
+                attempts=attempts, kind=value.kind,
+                error_type=value.error_type, message=value.message,
+                degraded=degraded,
+            )
+            return
+        if self.cache is not None:
+            self.cache.put(task.experiment_id, task.params, task.seed, value)
+        self._journal(
+            "task-completed", task, key,
+            attempts=attempts, cached=False, resumed=False, degraded=degraded,
+        )
+
+    def _failure(
+        self, task, kind, attempts, error_type="", message=""
+    ) -> TaskFailure:
+        return TaskFailure(
+            experiment_id=task.experiment_id,
+            index=task.index,
+            seed=task.seed,
+            kind=kind,
+            error_type=error_type,
+            message=message,
+            attempts=attempts,
+        )
+
+    def _failure_output(self, experiment_id, partials) -> ExperimentOutput:
+        failures = [p for p in partials if isinstance(p, TaskFailure)]
+        lines = [
+            f"!! {len(failures)} of {len(partials)} task(s) failed; "
+            "output unavailable"
+        ]
+        lines += [f"   {failure.describe()}" for failure in failures]
+        return ExperimentOutput(
+            experiment_id=experiment_id,
+            title="FAILED",
+            text="\n".join(lines),
+            data={"failures": [asdict(failure) for failure in failures]},
+        )
+
+    def _key(self, task: ExperimentTask) -> str:
+        return task_key(task.experiment_id, task.params, task.seed)
+
+    def _timeout_for(self, task: ExperimentTask) -> Optional[float]:
+        declared = plan_timeout(task.experiment_id)
+        return declared if declared is not None else self.task_timeout
+
+    def _watchdog(self, future_map, outstanding) -> Optional[float]:
+        """Driver-side guard: how long to wait for *any* completion.
+
+        Generously above the largest worker-side limit in flight, so it only
+        fires when SIGALRM could not interrupt the task.  ``None`` (wait
+        forever) when no task in flight has a limit.
+        """
+        limits = [
+            self._timeout_for(future_map[future][1]) for future in outstanding
+        ]
+        if any(limit is None for limit in limits) or not limits:
+            return None
+        longest = max(limits)
+        return longest + max(15.0, 0.5 * longest)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a broken/wedged pool: SIGKILL workers, then shut down."""
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already-dead races
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _journal(self, event: str, task: ExperimentTask, key: str, **fields) -> None:
+        if self.journal is None:
+            return
+        self.journal.record(
+            event,
+            key=key,
+            experiment_id=task.experiment_id,
+            index=task.index,
+            seed=task.seed,
+            **fields,
+        )

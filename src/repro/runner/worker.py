@@ -1,16 +1,53 @@
-"""The function that runs inside pool workers.
+"""The functions that run inside pool workers.
 
-Kept in its own module so only plain data (the :class:`ExperimentTask`)
-crosses the pickle boundary: the worker re-imports the experiment registry
-on its side and dispatches by id, which works under both fork and spawn
-start methods.
+Kept in its own module so only plain data crosses the pickle boundary: the
+worker re-imports the experiment registry on its side and dispatches by id,
+which works under both fork and spawn start methods.
+
+:func:`run_task_hardened` is the fault-tolerant entry point: it applies the
+chaos harness (when ``REPRO_CHAOS`` is set), enforces the task's wall-clock
+limit with a worker-side alarm, and **returns** structured outcomes instead
+of raising — a task exception crossing the pickle boundary as an exception
+would be indistinguishable from worker damage, and the parent must treat
+the two oppositely (record vs retry).
 """
 
 from __future__ import annotations
 
-from typing import Any
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional
 
-__all__ = ["run_task"]
+from repro.runner.retry import TaskTimeout, wall_clock_limit
+
+__all__ = ["run_task", "run_task_hardened", "WorkerSpec", "WorkerOutcome"]
+
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one hardened execution needs (plain picklable data)."""
+
+    task: Any  # ExperimentTask
+    timeout: Optional[float]  # wall-clock seconds; None = unlimited
+    attempt: int  # 1-based try number (keys the chaos draws)
+    task_key: str  # stable identity for chaos/backoff derivations
+
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """What came back: a value, a timeout, or the task's own exception."""
+
+    status: str  # OUTCOME_OK | OUTCOME_TIMEOUT | OUTCOME_ERROR
+    value: Any = None
+    error_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    elapsed: float = 0.0
 
 
 def run_task(task) -> Any:
@@ -20,3 +57,35 @@ def run_task(task) -> Any:
     from repro.experiments.base import execute_task
 
     return execute_task(task)
+
+
+def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
+    """Chaos-aware, timeout-limited execution with structured outcomes."""
+    from repro.runner.chaos import chaos_from_env
+
+    started = time.monotonic()
+    chaos = chaos_from_env()
+    try:
+        with wall_clock_limit(spec.timeout):
+            if chaos.active:
+                # May os._exit (kill) or sleep (hang) — inside the limit, so
+                # an injected hang surfaces as an ordinary task timeout.
+                chaos.pre_task(spec.task_key, spec.attempt)
+            value = run_task(spec.task)
+    except TaskTimeout as exc:
+        return WorkerOutcome(
+            status=OUTCOME_TIMEOUT,
+            message=str(exc),
+            elapsed=time.monotonic() - started,
+        )
+    except BaseException as exc:  # the task's own failure: record, never retry
+        return WorkerOutcome(
+            status=OUTCOME_ERROR,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+            elapsed=time.monotonic() - started,
+        )
+    return WorkerOutcome(
+        status=OUTCOME_OK, value=value, elapsed=time.monotonic() - started
+    )

@@ -1,10 +1,13 @@
-"""Tests for the on-disk result cache and its key scheme."""
-
-import pickle
+"""Tests for the on-disk result cache: key scheme, checksums, quarantine."""
 
 import pytest
 
-from repro.runner.cache import ResultCache, code_version, default_cache_dir
+from repro.runner.cache import (
+    ResultCache,
+    code_version,
+    default_cache_dir,
+    read_entry,
+)
 
 
 @pytest.fixture
@@ -46,13 +49,47 @@ def test_key_distinguishes_tuple_knob_values(cache):
     assert a != b
 
 
-def test_corrupt_entry_is_a_miss_and_removed(cache):
+def test_corrupt_entry_is_a_miss_and_quarantined(cache):
     cache.put("T1", {}, 1, "value")
     (entry,) = cache.entries()
     entry.write_bytes(b"not a pickle")
     hit, value = cache.get("T1", {}, 1)
     assert not hit and value is None
     assert cache.entries() == []
+    assert cache.stats.quarantined == 1
+    # Forensics beat deletion: the damaged bytes are kept aside.
+    (kept,) = cache.quarantined_entries()
+    assert kept.read_bytes() == b"not a pickle"
+
+
+def test_bitflip_fails_checksum_and_quarantines(cache):
+    cache.put("T1", {}, 1, {"rows": [1, 2, 3]})
+    (entry,) = cache.entries()
+    blob = bytearray(entry.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF  # single flipped bit-pattern in the payload
+    entry.write_bytes(bytes(blob))
+    hit, value = cache.get("T1", {}, 1)
+    assert not hit and value is None
+    assert cache.stats.quarantined == 1
+
+
+def test_truncated_entry_is_quarantined_not_raised(cache):
+    cache.put("T1", {}, 1, list(range(100)))
+    (entry,) = cache.entries()
+    entry.write_bytes(entry.read_bytes()[:20])  # torn write survivor
+    hit, value = cache.get("T1", {}, 1)
+    assert not hit and value is None
+    assert cache.stats.quarantined == 1
+
+
+def test_quarantined_entries_do_not_shadow_recomputes(cache):
+    cache.put("T1", {}, 1, "good")
+    (entry,) = cache.entries()
+    entry.write_bytes(b"garbage")
+    cache.get("T1", {}, 1)  # quarantines
+    cache.put("T1", {}, 1, "recomputed")
+    hit, value = cache.get("T1", {}, 1)
+    assert hit and value == "recomputed"
 
 
 def test_clear_removes_everything(cache):
@@ -64,6 +101,15 @@ def test_clear_removes_everything(cache):
     assert cache.size_bytes() == 0
 
 
+def test_clear_removes_quarantined_entries_too(cache):
+    cache.put("T1", {}, 1, "value")
+    (entry,) = cache.entries()
+    entry.write_bytes(b"junk")
+    cache.get("T1", {}, 1)
+    assert cache.clear() == 1
+    assert cache.quarantined_entries() == []
+
+
 def test_put_overwrites_atomically(cache):
     cache.put("T1", {}, 1, "old")
     cache.put("T1", {}, 1, "new")
@@ -73,11 +119,18 @@ def test_put_overwrites_atomically(cache):
     assert [p for p in cache.root.iterdir() if p.suffix == ".tmp"] == []
 
 
-def test_entries_are_loadable_pickles(cache):
+def test_entries_are_loadable_checksummed_blobs(cache):
     cache.put("T1", {"days": 1.0}, 7, {"rows": [1, 2, 3]})
     (entry,) = cache.entries()
-    with entry.open("rb") as handle:
-        assert pickle.load(handle) == {"rows": [1, 2, 3]}
+    assert entry.read_bytes().startswith(b"RPC1")
+    assert read_entry(entry) == {"rows": [1, 2, 3]}
+
+
+def test_read_entry_rejects_foreign_files(tmp_path):
+    foreign = tmp_path / "foreign.pkl"
+    foreign.write_bytes(b"anything at all")
+    with pytest.raises(ValueError, match="not a checksummed"):
+        read_entry(foreign)
 
 
 def test_code_version_is_stable_and_short():

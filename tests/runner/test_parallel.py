@@ -1,14 +1,26 @@
-"""Tests for the parallel runner: job resolution, task planning, caching."""
+"""Tests for the parallel runner: jobs, planning, caching, fault handling."""
+
+import time
 
 import pytest
 
 from repro.experiments.base import (
+    ExperimentOutput,
     ExperimentTask,
     merge_tasks,
     plan_tasks,
+    plan_timeout,
+    register_tasks,
+    registry,
     task_plans,
 )
-from repro.runner import ParallelRunner, ResultCache, resolve_jobs
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    RetryPolicy,
+    RunJournal,
+    resolve_jobs,
+)
 
 
 # -- worker-count resolution ---------------------------------------------------
@@ -135,3 +147,166 @@ def test_pool_execution_matches_inline(tmp_path):
     pooled = ParallelRunner(jobs=2, use_cache=False).run("R1", **knobs)
     assert pooled.text == inline.text
     assert pooled.data == inline.data
+
+
+# -- timeouts and containment --------------------------------------------------
+
+def _px_run(**knobs):
+    raise NotImplementedError("PX only runs via its task plan")
+
+
+def _px_plan(sleep=0.0, **_knobs):
+    return [ExperimentTask("PX", 0, {"seed": 1, "sleep": sleep}, 1)]
+
+
+def _px_execute(params):
+    time.sleep(params["sleep"])
+    return params["seed"]
+
+
+def _px_merge(partials, **_knobs):
+    return ExperimentOutput("PX", "probe", text=str(partials[0]))
+
+
+def _register_px(timeout=None):
+    registry["PX"] = _px_run
+    register_tasks("PX", _px_plan, _px_execute, _px_merge, timeout=timeout)
+
+
+@pytest.fixture
+def px_cleanup():
+    yield
+    registry.pop("PX", None)
+    task_plans.pop("PX", None)
+
+
+def test_runner_rejects_nonpositive_timeout():
+    with pytest.raises(ValueError, match="task_timeout"):
+        ParallelRunner(jobs=1, task_timeout=0.0)
+
+
+def test_register_tasks_rejects_nonpositive_timeout(px_cleanup):
+    registry["PX"] = _px_run
+    with pytest.raises(ValueError, match="timeout must be positive"):
+        register_tasks("PX", _px_plan, _px_execute, _px_merge, timeout=-1.0)
+
+
+def test_plan_timeout_reports_declared_override(px_cleanup):
+    _register_px(timeout=120.0)
+    assert plan_timeout("PX") == 120.0
+    assert plan_timeout("R1") is None
+
+
+def test_plan_timeout_override_beats_runner_default(px_cleanup):
+    _register_px(timeout=30.0)  # generous: the experiment knows its cost
+    runner = ParallelRunner(
+        jobs=1, use_cache=False, task_timeout=0.05,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    output = runner.run("PX", sleep=0.3)  # would blow the runner default
+    assert output.text == "1"
+    assert not runner.failures
+
+
+def test_timeout_exhaustion_becomes_structured_failure(px_cleanup):
+    _register_px()
+    runner = ParallelRunner(
+        jobs=1, use_cache=False, task_timeout=0.1,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+    )
+    output = runner.run("PX", sleep=30.0)
+    assert output.title == "FAILED"
+    assert "1 of 1 task(s) failed" in output.text
+    (failure,) = runner.failures
+    assert failure.kind == "timeout"
+    assert failure.attempts == 2
+    assert runner.retries == 1
+
+
+def test_failed_experiment_does_not_abort_the_sweep(px_cleanup, tmp_path):
+    _register_px()
+    runner = ParallelRunner(
+        jobs=1, use_cache=False, task_timeout=0.1,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    broken, healthy = runner.run_many(
+        [("PX", dict(sleep=30.0)), ("R1", dict(days=1.0, seeds=(1,)))]
+    )
+    assert broken.title == "FAILED"
+    assert healthy.experiment_id == "R1" and healthy.title != "FAILED"
+
+
+def test_failures_are_never_cached(px_cleanup, tmp_path):
+    _register_px()
+    cache = ResultCache(root=tmp_path)
+    runner = ParallelRunner(
+        jobs=1, cache=cache, task_timeout=0.1,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    runner.run("PX", sleep=30.0)
+    assert runner.failures
+    assert cache.entries() == []  # a transient outage must not poison reruns
+
+
+class _BrokenSubmitPool:
+    """Mimics a ProcessPoolExecutor whose workers died pre-submission."""
+
+    def submit(self, fn, *args):
+        raise RuntimeError("pool is broken")
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+def test_submission_to_broken_pool_is_contained(px_cleanup):
+    # Regression: a worker dying *during* batch submission makes pool.submit
+    # itself raise; that must degrade the batch, not escape the runner.
+    from collections import deque
+
+    _register_px()
+    runner = ParallelRunner(
+        jobs=2, use_cache=False, retry=RetryPolicy(max_attempts=1)
+    )
+    (task,) = plan_tasks("PX")
+    sink = {}
+    requeue = runner._run_round(_BrokenSubmitPool(), deque([(0, task, 1)]), sink)
+    assert runner._pool_broken
+    assert requeue == []  # max_attempts=1: degraded inline instead
+    assert sink[0] == 1  # the task's actual result, computed in-process
+    assert len(runner.degraded_tasks) == 1
+
+
+# -- journal integration -------------------------------------------------------
+
+def test_runner_journals_starts_and_completions(px_cleanup, tmp_path):
+    _register_px()
+    journal = RunJournal.create(tmp_path / "runs")
+    runner = ParallelRunner(jobs=1, use_cache=False, journal=journal)
+    runner.run("PX")
+    journal.close()
+    events = [e["event"] for e in journal.events()]
+    assert events == ["task-started", "task-completed"]
+    assert journal.completed_keys()
+
+
+def test_resume_skips_journaled_completions_via_cache(px_cleanup, tmp_path):
+    _register_px()
+    cache_root = tmp_path / "cache"
+    first_journal = RunJournal.create(tmp_path / "runs")
+    first = ParallelRunner(
+        jobs=1, cache=ResultCache(root=cache_root), journal=first_journal
+    )
+    first.run("PX")
+    first_journal.close()
+
+    resumed_journal = RunJournal.resume(tmp_path / "runs", first_journal.run_id)
+    second = ParallelRunner(
+        jobs=1,
+        cache=ResultCache(root=cache_root),
+        journal=resumed_journal,
+        resume_keys=resumed_journal.completed_keys(),
+    )
+    second.run("PX")
+    resumed_journal.close()
+    assert second.resume_skipped == 1
+    assert second.cache_stats.hits == 1 and second.cache_stats.misses == 0

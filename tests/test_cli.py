@@ -59,7 +59,8 @@ def _run_all(tmp_path, name, *extra):
     target = tmp_path / name
     code = main(
         ["run-all", "--fast", "--only", "R1", "--out", str(target),
-         "--cache-dir", str(tmp_path / "cache"), *extra]
+         "--cache-dir", str(tmp_path / "cache"),
+         "--runs-dir", str(tmp_path / "runs"), *extra]
     )
     return code, target
 
@@ -101,7 +102,7 @@ def test_run_all_no_cache_skips_the_cache(tmp_path, capsys):
 
 
 def test_run_all_unknown_experiment_fails(tmp_path, capsys):
-    code = main(["run-all", "--only", "ZZ", "--no-cache",
+    code = main(["run-all", "--only", "ZZ", "--no-cache", "--no-journal",
                  "--out", str(tmp_path / "r.txt")])
     assert code == 2
     assert "unknown experiments" in capsys.readouterr().err
@@ -121,9 +122,91 @@ def test_run_with_jobs_and_cache_flags(tmp_path, capsys):
 def test_bad_repro_jobs_env_is_a_clean_error(tmp_path, monkeypatch, capsys):
     monkeypatch.setenv("REPRO_JOBS", "garbage")
     code = main(["run-all", "--fast", "--only", "R1", "--no-cache",
-                 "--out", str(tmp_path / "r.txt")])
+                 "--no-journal", "--out", str(tmp_path / "r.txt")])
     assert code == 2
     assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+def test_bad_chaos_spec_is_a_clean_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CHAOS", "explode:yes")
+    code = main(["run-all", "--fast", "--only", "R1", "--no-cache",
+                 "--no-journal", "--out", str(tmp_path / "r.txt")])
+    assert code == 2
+    assert "unknown chaos kind" in capsys.readouterr().err
+
+
+def test_negative_retries_is_a_clean_error(tmp_path, capsys):
+    code = main(["run-all", "--fast", "--only", "R1", "--no-cache",
+                 "--no-journal", "--retries", "-1",
+                 "--out", str(tmp_path / "r.txt")])
+    assert code == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+# -- journal / resume ----------------------------------------------------------
+
+def test_run_all_journals_by_default(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    assert "journal at" in capsys.readouterr().err
+    (journal,) = (tmp_path / "runs").glob("*/journal.jsonl")
+    text = journal.read_text()
+    assert '"event":"run-started"' in text
+    assert '"event":"run-completed"' in text
+
+
+def test_no_journal_opts_out(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1", "--no-journal")
+    assert code == 0
+    assert "journal at" not in capsys.readouterr().err
+    assert not (tmp_path / "runs").exists()
+
+
+def test_resume_skips_completed_tasks(tmp_path, capsys):
+    code, first = _run_all(tmp_path, "first.txt", "--jobs", "1")
+    assert code == 0
+    capsys.readouterr()
+    (journal,) = (tmp_path / "runs").glob("*/journal.jsonl")
+    run_id = journal.parent.name
+
+    code, second = _run_all(
+        tmp_path, "second.txt", "--jobs", "1", "--resume", run_id
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "3 hits, 0 misses" in err
+    assert "resumed: 3 skipped" in err
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_resume_unknown_run_id_fails_cleanly(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "r.txt", "--resume", "never-ran")
+    assert code == 2
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_resume_requires_the_cache(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "r.txt", "--resume", "whatever", "--no-cache")
+    assert code == 2
+    assert "--resume needs the result cache" in capsys.readouterr().err
+
+
+def test_task_timeout_failures_exit_nonzero_without_crashing(tmp_path, capsys):
+    # Drop the in-process campaign memo: memoized tasks return instantly and
+    # would never hit the wall-clock limit this test is about.
+    from repro.experiments.base import _campaign_cache
+
+    _campaign_cache.clear()
+    code, target = _run_all(
+        tmp_path, "report.txt", "--jobs", "1", "--no-cache",
+        "--task-timeout", "0.05", "--retries", "0",
+    )
+    assert code == 3  # completed-with-failures, not a crash
+    captured = capsys.readouterr()
+    assert "failed: 3" in captured.err
+    assert "[task failed] R1" in captured.err
+    text = target.read_text()
+    assert "FAILED" in text and "task(s) failed" in text
 
 
 def test_run_no_cache_flag(tmp_path, capsys):
@@ -141,6 +224,7 @@ def test_cache_info_and_clear(tmp_path, capsys):
     info = capsys.readouterr().out
     assert str(cache_dir) in info
     assert "entries:      5" in info  # R1 default seeds = 5 replicates
+    assert "quarantined:  0" in info
 
     assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
     assert "removed 5 cached results" in capsys.readouterr().out
