@@ -1,0 +1,42 @@
+"""Bench A4: regenerate the site-outage resilience ablation."""
+
+
+def test_a4_resilience(regenerate):
+    output = regenerate("A4")
+    cells = output.data
+    baseline = cells["no outages"]
+    outage_cells = [c for label, c in cells.items() if label != "no outages"]
+    # Outages actually happened and killed work in every non-baseline cell.
+    for cell in outage_cells:
+        assert cell["outages"] > 0
+        assert cell["completed_ch"] < baseline["completed_ch"]
+    # Within each MTBF, recovery policies trade throughput for goodput:
+    # campaigns stop being abandoned (the user keeps resubmitting instead).
+    by_mtbf = {}
+    for cell in outage_cells:
+        by_mtbf.setdefault(cell["mtbf_days"], {})[cell["recovery"]] = cell
+    for arms in by_mtbf.values():
+        if {"none", "retry"} <= set(arms):
+            assert (
+                arms["retry"]["abandonments"] < arms["none"]["abandonments"]
+            )
+            assert arms["retry"]["resubmissions"] > 0
+    # Single-site batch falls off a cliff without resubmission, while the
+    # gateway-mediated modality rides out outages on its request backlog.
+    worst = min(by_mtbf)
+    give_up = by_mtbf[worst]["none"]
+    base_mod = baseline["by_modality"]
+    retained = {
+        m: give_up["by_modality"][m] / base_mod[m]
+        for m in ("batch", "gateway")
+        if base_mod.get(m)
+    }
+    assert retained["batch"] < retained["gateway"]
+    # More reliable sites complete more science within a recovery discipline.
+    for recovery in ("none", "retry"):
+        ordered = sorted(
+            (c for c in outage_cells if c["recovery"] == recovery),
+            key=lambda c: c["mtbf_days"],
+        )
+        completed = [c["completed_ch"] for c in ordered]
+        assert completed == sorted(completed)

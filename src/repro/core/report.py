@@ -11,7 +11,13 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.modalities import MODALITY_ORDER, MODALITY_TAXONOMY, Modality
 
-__all__ = ["ascii_table", "series_block", "modality_table", "taxonomy_table"]
+__all__ = [
+    "ascii_table",
+    "counters_footer",
+    "series_block",
+    "modality_table",
+    "taxonomy_table",
+]
 
 
 def ascii_table(
@@ -36,6 +42,17 @@ def ascii_table(
     for row in materialized:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def counters_footer(counters: Mapping[str, object]) -> str:
+    """Event counters as one deterministic footer line.
+
+    Insertion order is preserved (callers list counters in a fixed order),
+    so the line is byte-stable across worker counts and resumes as long as
+    the counts themselves are.
+    """
+    body = ", ".join(f"{name}={value}" for name, value in counters.items())
+    return f"[counters: {body}]"
 
 
 def series_block(

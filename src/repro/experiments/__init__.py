@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     a1_walltime_accuracy,
     a2_reservation_style,
     a3_checkpointing,
+    a4_resilience,
     r1_replicates,
 )
 

@@ -18,7 +18,8 @@ interval, keeping waste roughly linear in the failure rate.
 from __future__ import annotations
 
 import repro.infra as infra
-from repro.core.report import ascii_table
+from repro.core.report import ascii_table, counters_footer
+from repro.infra.resilience import saved_progress
 from repro.experiments.base import (
     ExperimentOutput,
     ExperimentTask,
@@ -53,7 +54,7 @@ def _run_campaign(
     cluster = infra.Cluster("mach", nodes=128, cores_per_node=8)
     site = infra.ResourceProvider(sim, cluster, ledger, central)
     streams = RandomStreams(seed)
-    infra.NodeFailureInjector(
+    injector = infra.NodeFailureInjector(
         sim,
         site.scheduler,
         streams.stream("faults"),
@@ -62,6 +63,7 @@ def _run_campaign(
     )
 
     consumed = [0.0]
+    resubmissions = [0]
     restart_overhead = 5 * 60.0  # re-queue + restore time
 
     def campaign(sim, rng):
@@ -83,12 +85,10 @@ def _run_campaign(
                 remaining = 0.0
             else:
                 # Struck by a node failure partway through.
-                if checkpoint_interval is None:
-                    saved = 0.0
-                else:
-                    saved = (elapsed // checkpoint_interval) * checkpoint_interval
+                saved = saved_progress(elapsed, checkpoint_interval)
                 remaining = max(remaining - saved, 0.0)
                 if remaining > 1.0:
+                    resubmissions[0] += 1
                     yield sim.timeout(restart_overhead)
 
     rng_master = streams.stream("campaign")
@@ -102,6 +102,8 @@ def _run_campaign(
         "useful_core_seconds": useful,
         "waste_ratio": max(consumed[0] / useful - 1.0, 0.0),
         "records": len(central) + site.feed.buffered,
+        "failures": injector.failures_injected,
+        "resubmissions": resubmissions[0],
     }
 
 
@@ -154,7 +156,7 @@ def merge(
             ]
         )
         data[mtbf_h] = {"restart": restart, "checkpoint": checkpointed}
-    text = ascii_table(
+    table = ascii_table(
         ["per-node MTBF", "waste (restart from scratch)",
          f"waste (checkpoint every {checkpoint_interval / HOUR:g}h)"],
         rows,
@@ -163,6 +165,13 @@ def merge(
             "(24 x 20h 32-core campaigns run to completion)"
         ),
     )
+    footer = counters_footer(
+        {
+            "failures": sum(p["failures"] for p in partials),
+            "resubmissions": sum(p["resubmissions"] for p in partials),
+        }
+    )
+    text = "\n".join([table, footer])
     return ExperimentOutput(
         experiment_id="A3",
         title="Checkpointing ablation under node failures",

@@ -20,16 +20,26 @@ from repro.infra.job import Job, JobState, SubmissionInterface
 from repro.infra.cluster import Cluster
 from repro.infra.allocations import Allocation, AllocationLedger, AllocationType
 from repro.infra.accounting import CentralAccountingDB, UsageRecord
-from repro.infra.site import ResourceProvider
+from repro.infra.site import ResourceProvider, SiteDownError
 from repro.infra.network import Network, NetworkLink, Transfer
 from repro.infra.storage import DataCollection, StorageSystem
 from repro.infra.submission import LoginSubmitter, GramSubmitter
 from repro.infra.gateway import ScienceGateway
 from repro.infra.infoservice import InformationService
-from repro.infra.metascheduler import Metascheduler, SelectionStrategy
+from repro.infra.metascheduler import (
+    Metascheduler,
+    NoEligibleSiteError,
+    SelectionStrategy,
+)
 from repro.infra.workflow import TaskGraph, WorkflowEngine
 from repro.infra.coalloc import CoAllocator
 from repro.infra.faults import NodeFailureInjector
+from repro.infra.resilience import (
+    OutageEvent,
+    OutagePolicy,
+    SiteOutageInjector,
+    saved_progress,
+)
 from repro.infra.pilot import Pilot, PilotManager, PilotTask
 from repro.infra.queues import QueueSet, QueueSpec, default_queues
 from repro.infra.maintenance import MaintenanceSchedule
@@ -55,6 +65,9 @@ __all__ = [
     "Network",
     "NetworkLink",
     "NodeFailureInjector",
+    "NoEligibleSiteError",
+    "OutageEvent",
+    "OutagePolicy",
     "Pilot",
     "PilotManager",
     "PilotTask",
@@ -64,6 +77,8 @@ __all__ = [
     "default_queues",
     "ScienceGateway",
     "SelectionStrategy",
+    "SiteDownError",
+    "SiteOutageInjector",
     "StorageSystem",
     "SubmissionInterface",
     "TaskGraph",
@@ -73,4 +88,5 @@ __all__ = [
     "WorkflowEngine",
     "core_hours",
     "nu_charge",
+    "saved_progress",
 ]

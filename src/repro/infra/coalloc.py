@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from repro.infra.job import AttributeKeys, Job, JobState
 from repro.infra.scheduler.base import Reservation
-from repro.infra.site import ResourceProvider
+from repro.infra.site import ResourceProvider, SiteDownError
 from repro.infra.units import MINUTE
 from repro.sim import AllOf, Simulator
 
@@ -141,6 +141,7 @@ class CoAllocator:
 
         # Reserve capacity and submit each part pinned to the common start.
         part_ids = {job.job_id for job in jobs}
+        submitted: list[tuple[ResourceProvider, Job]] = []
         for (provider, _cores), job in zip(parts, jobs):
             nodes = provider.cluster.nodes_for(job.cores)
             provider.scheduler.add_reservation(
@@ -153,7 +154,17 @@ class CoAllocator:
                 )
             )
             job.not_before = common_start
-            provider.submit(job)
+            try:
+                provider.submit(job)
+            except SiteDownError:
+                # A site dropped between planning and submission: the coupled
+                # run cannot proceed with a missing part.  Cancel what got in
+                # and report the co-allocation as failed.
+                for other_provider, other_job in submitted:
+                    other_provider.cancel(other_job)
+                record.finished_at = self.sim.now
+                return record
+            submitted.append((provider, job))
 
         completions = [
             provider.scheduler.wait_for(job)

@@ -31,6 +31,13 @@ class NodeFailureInjector:
     kill per tick would systematically undercount failures on large busy
     machines).  Victims are node-weighted without replacement; the draw is
     fully determined by the supplied generator, so runs are seed-stable.
+
+    Nodes inside an *active maintenance window* (a drain reservation with
+    ``access=None``) are powered down and cannot strike anyone.  Running
+    jobs avoid drained nodes whenever capacity allows, so only the overlap
+    the pigeonhole principle forces — ``busy + drained - total`` nodes —
+    is protected; during a full-machine window every busy node is drained
+    and the injector goes quiet entirely.
     """
 
     def __init__(
@@ -58,10 +65,22 @@ class NodeFailureInjector:
             if not running:
                 continue
             busy_nodes = sum(entry.nodes for entry in running)
-            # Strikes this tick ~ Poisson(busy-node failure rate * tick); a
-            # strike on an already-dead job's node is absorbed by the cap.
+            now = sim.now
+            drained = sum(
+                r.nodes
+                for r in self.scheduler.reservations
+                if r.access is None and r.start <= now < r.end
+            )
+            # Busy nodes forced into the drained set are powered down with
+            # it and cannot fail a job (satellite: faults x maintenance).
+            total = self.scheduler.cluster.nodes
+            exposed = busy_nodes - max(busy_nodes + drained - total, 0)
+            if exposed <= 0:
+                continue
+            # Strikes this tick ~ Poisson(exposed-node failure rate * tick);
+            # a strike on an already-dead job's node is absorbed by the cap.
             strikes = int(
-                self.rng.poisson(busy_nodes * self.tick / self.node_mtbf)
+                self.rng.poisson(exposed * self.tick / self.node_mtbf)
             )
             if strikes == 0:
                 continue

@@ -27,16 +27,26 @@ class InformationService:
         sim: Simulator,
         providers: Iterable[ResourceProvider],
         publish_interval: float = 5 * MINUTE,
+        outage_propagation_lag: float = 0.0,
     ) -> None:
         if publish_interval <= 0:
             raise ValueError(
                 f"publish_interval must be positive, got {publish_interval}"
+            )
+        if outage_propagation_lag < 0:
+            raise ValueError(
+                f"outage_propagation_lag must be >= 0, got {outage_propagation_lag}"
             )
         self.sim = sim
         self.providers = {p.name: p for p in providers}
         if not self.providers:
             raise ValueError("information service needs at least one provider")
         self.publish_interval = publish_interval
+        #: how long after a site drops before publications admit it is down;
+        #: inside the window the last pre-outage snapshot keeps being served
+        #: (the dead site cannot push fresh state, and nothing announces the
+        #: outage — consumers find out the hard way, by failed submissions)
+        self.outage_propagation_lag = outage_propagation_lag
         self.publications = 0
         self._published: dict[str, dict] = {
             name: provider.status_snapshot()
@@ -48,6 +58,13 @@ class InformationService:
         while True:
             yield sim.timeout(self.publish_interval)
             for name, provider in self.providers.items():
+                if (
+                    not provider.up
+                    and provider.down_since is not None
+                    and sim.now - provider.down_since
+                    < self.outage_propagation_lag
+                ):
+                    continue  # stale pre-outage snapshot stands, lying
                 self._published[name] = provider.status_snapshot()
             self.publications += 1
 
@@ -65,3 +82,7 @@ class InformationService:
     def staleness(self, resource: str) -> float:
         """Age of the published snapshot for ``resource``."""
         return self.sim.now - self.query(resource)["time"]
+
+    def believed_up(self, resource: str) -> bool:
+        """Whether the *published* view says the site is up (may be stale)."""
+        return bool(self.query(resource).get("up", True))

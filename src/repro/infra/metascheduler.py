@@ -10,6 +10,14 @@ metascheduler implements the strategies compared in experiment F5:
   information service* (so staleness hurts);
 * ``PREDICTED_START`` — probe each site's scheduler for the job's earliest
   feasible start (a fresh reservation-style probe, the strongest tool).
+
+Selection is *outage-aware on believed state*: sites the information service
+(or, without one, live inspection) reports as down or fully drained are
+excluded.  Because the published view can lag reality, a selected site may
+still reject the submission with :class:`SiteDownError`; :meth:`submit` then
+fails over to the next-best site.  When a site drops with metascheduled work
+still queued there, :meth:`handle_outage` withdraws and reroutes those jobs,
+bridging the original completion/start events so waiters never dangle.
 """
 
 from __future__ import annotations
@@ -22,9 +30,13 @@ import numpy as np
 
 from repro.infra.infoservice import InformationService
 from repro.infra.job import Job
-from repro.infra.site import ResourceProvider
+from repro.infra.site import ResourceProvider, SiteDownError
 
-__all__ = ["Metascheduler", "SelectionStrategy"]
+__all__ = ["Metascheduler", "NoEligibleSiteError", "SelectionStrategy"]
+
+
+class NoEligibleSiteError(RuntimeError):
+    """Every site that could fit the job is believed down or drained."""
 
 
 class SelectionStrategy(enum.Enum):
@@ -52,13 +64,39 @@ class Metascheduler:
         self.info_service = info_service
         self._rr = itertools.cycle(range(len(self.providers)))
         self.selections: dict[str, int] = {}
+        self.reroutes = 0
+        self.requeues = 0
+        #: jobs this metascheduler routed, for outage-time requeueing
+        self._routed: dict[int, Job] = {}
+        #: per-job stacks of (completion, start) events orphaned by a
+        #: withdrawal, waiting to be bridged onto the next submission
+        self._pending_bridges: dict[int, list[tuple]] = {}
         if strategy is SelectionStrategy.RANDOM and rng is None:
             raise ValueError("RANDOM strategy requires an rng")
         if strategy is SelectionStrategy.LEAST_LOADED and info_service is None:
             raise ValueError("LEAST_LOADED strategy requires an info service")
 
+    # -- believed state -----------------------------------------------------
+    def _believed_state(self, provider: ResourceProvider) -> tuple[bool, int]:
+        """(up?, usable nodes) as this metascheduler can know them.
+
+        With an information service the *published* (possibly stale) view is
+        used — during the outage propagation window a dead site still looks
+        up, and the submission attempt is what fails.  Without one, live
+        state is inspected directly.
+        """
+        if self.info_service is not None:
+            snap = self.info_service.query(provider.name)
+            return (
+                bool(snap.get("up", True)),
+                int(snap.get("available_nodes", snap["total_nodes"])),
+            )
+        return provider.up, provider.available_nodes
+
     # -- selection ----------------------------------------------------------
-    def _eligible(self, job: Job) -> list[ResourceProvider]:
+    def _eligible(
+        self, job: Job, exclude: frozenset = frozenset()
+    ) -> list[ResourceProvider]:
         fits = [
             p for p in self.providers if job.cores <= p.cluster.total_cores
         ]
@@ -66,11 +104,26 @@ class Metascheduler:
             raise ValueError(
                 f"job {job.job_id} ({job.cores} cores) fits on no site"
             )
-        return fits
+        usable = []
+        for provider in fits:
+            if provider.name in exclude:
+                continue
+            up, available = self._believed_state(provider)
+            if not up or available <= 0:
+                continue  # down, or fully drained: nothing to select
+            usable.append(provider)
+        if not usable:
+            raise NoEligibleSiteError(
+                f"no site believed up can take job {job.job_id} "
+                f"(excluded: {sorted(exclude) or 'none'})"
+            )
+        return usable
 
-    def select(self, job: Job) -> ResourceProvider:
+    def select(
+        self, job: Job, exclude: frozenset = frozenset()
+    ) -> ResourceProvider:
         """Choose the site for ``job`` under the configured strategy."""
-        eligible = self._eligible(job)
+        eligible = self._eligible(job, exclude=exclude)
         if self.strategy is SelectionStrategy.RANDOM:
             assert self.rng is not None
             choice = eligible[int(self.rng.integers(len(eligible)))]
@@ -84,7 +137,13 @@ class Metascheduler:
             assert self.info_service is not None
             def load(provider: ResourceProvider) -> float:
                 snap = self.info_service.query(provider.name)
-                return snap["pending_node_seconds"] / snap["total_nodes"]
+                # A drained site publishes 0 usable nodes; it is excluded by
+                # eligibility above, but guard the ratio anyway so a racing
+                # drain can never divide by zero.
+                available = max(
+                    int(snap.get("available_nodes", snap["total_nodes"])), 1
+                )
+                return snap["pending_node_seconds"] / available
             choice = min(eligible, key=lambda p: (load(p), p.name))
         elif self.strategy is SelectionStrategy.PREDICTED_START:
             choice = min(
@@ -96,8 +155,110 @@ class Metascheduler:
         self.selections[choice.name] = self.selections.get(choice.name, 0) + 1
         return choice
 
+    # -- submission with failover -------------------------------------------
     def submit(self, job: Job) -> ResourceProvider:
-        """Select a site and submit; returns the chosen provider."""
-        provider = self.select(job)
-        provider.submit(job)
+        """Select a site and submit, failing over past stale-info rejections.
+
+        A site the published view still calls up may reject the submission
+        (:class:`SiteDownError`); each rejection is excluded and selection
+        retried until a live site accepts or none remain
+        (:class:`NoEligibleSiteError`).  Returns the provider that accepted.
+        """
+        attempted: set[str] = set()
+        while True:
+            provider = self.select(job, exclude=frozenset(attempted))
+            try:
+                provider.submit(job)
+            except SiteDownError:
+                attempted.add(provider.name)
+                self.reroutes += 1
+                continue
+            self._routed[job.job_id] = job
+            self._attach_bridges(provider, job)
+            return provider
+
+    def submit_to(self, provider: ResourceProvider, job: Job) -> ResourceProvider:
+        """Submit to an already-selected provider, failing over if it's down.
+
+        Used by callers (e.g. the workflow engine) that select early — to
+        stage data toward the chosen site — and submit later, when the site
+        may have dropped.  Returns the provider that actually took the job.
+        """
+        try:
+            provider.submit(job)
+        except SiteDownError:
+            self.reroutes += 1
+            return self.submit(job)
+        self._routed[job.job_id] = job
+        self._attach_bridges(provider, job)
         return provider
+
+    # -- outage handling ----------------------------------------------------
+    def handle_outage(self, provider: ResourceProvider) -> int:
+        """Requeue pending metascheduled jobs stranded at a down site.
+
+        For each job this metascheduler routed to ``provider`` that is still
+        pending there, withdraw it (no terminal state, no usage record) and
+        resubmit through normal failover selection.  Jobs with no believed-up
+        alternative stay queued at the suspended site and run when it
+        recovers.  Waiters on the original completion/start events are
+        bridged onto the new submission.  Returns how many jobs moved.
+        """
+        moved = 0
+        stranded = [
+            job
+            for job in list(provider.scheduler.queue)
+            if job.job_id in self._routed
+        ]
+        for job in stranded:
+            try:
+                self._eligible(job, exclude=frozenset({provider.name}))
+            except (ValueError, NoEligibleSiteError):
+                continue  # nowhere better; wait out the outage in place
+            completion, start = provider.withdraw(job)
+            self._pending_bridges.setdefault(job.job_id, []).append(
+                (completion, start)
+            )
+            try:
+                self.submit(job)
+            except NoEligibleSiteError:
+                # Believed-up alternatives all rejected us (stale info):
+                # put the job back in the suspended queue, still bridged.
+                provider._enqueue(job)
+                self._attach_bridges(provider, job)
+                continue
+            self.requeues += 1
+            moved += 1
+        # Drop terminal jobs from the routing table so it cannot grow
+        # without bound across a long campaign.
+        self._routed = {
+            job_id: job
+            for job_id, job in self._routed.items()
+            if not job.state.is_terminal
+        }
+        return moved
+
+    def _attach_bridges(self, provider: ResourceProvider, job: Job) -> None:
+        """Re-fire orphaned wait events from this (re)submission's events.
+
+        A withdrawn job's waiters hold events popped from the old scheduler;
+        chaining callbacks from the new scheduler's events keeps every
+        waiter releasable no matter how many times the job is requeued.
+        """
+        waiters = self._pending_bridges.pop(job.job_id, [])
+        if not waiters:
+            return
+        scheduler = provider.scheduler
+
+        def on_completion(event):
+            for completion, _start in waiters:
+                if not completion.triggered:
+                    completion.succeed(event._value)
+
+        def on_start(event):
+            for _completion, start in waiters:
+                if not start.triggered:
+                    start.succeed(event._value)
+
+        scheduler.wait_for(job)._add_callback(on_completion)
+        scheduler.wait_for_start(job)._add_callback(on_start)

@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.infra.job import Job
+from repro.infra.job import Job, JobState
 from repro.infra.site import ResourceProvider
 from repro.sim import Simulator
 from repro.sim.resources import Resource
@@ -58,7 +58,14 @@ class Pilot:
     pilot truncation hazard).
     """
 
-    def __init__(self, sim: Simulator, job: Job, cores: int) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        job: Job,
+        cores: int,
+        reprovision: bool = False,
+        max_reprovisions: int = 0,
+    ) -> None:
         self.sim = sim
         self.job = job
         self.cores = cores
@@ -67,6 +74,11 @@ class Pilot:
         self.completed: list[PilotTask] = []
         self.lost: list[PilotTask] = []
         self._active = False
+        #: if the placeholder dies to infrastructure (FAILED), launch a
+        #: successor and move the unfinished tasks onto it
+        self.reprovision = reprovision
+        self.reprovisions_left = max_reprovisions
+        self.replacement: Optional["Pilot"] = None
 
     @property
     def is_active(self) -> bool:
@@ -120,6 +132,9 @@ class PilotManager:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.pilots: list[Pilot] = []
+        self.pilots_lost = 0
+        self.pilots_reprovisioned = 0
+        self.tasks_rescued = 0
 
     def launch(
         self,
@@ -130,8 +145,16 @@ class PilotManager:
         walltime: float,
         attributes: Optional[dict] = None,
         true_modality: Optional[str] = None,
+        reprovision: bool = False,
+        max_reprovisions: int = 2,
     ) -> Pilot:
-        """Submit the placeholder job; tasks may be queued immediately."""
+        """Submit the placeholder job; tasks may be queued immediately.
+
+        With ``reprovision=True`` a pilot whose placeholder dies to
+        infrastructure failure (node or site loss, state ``FAILED``) is
+        replaced — up to ``max_reprovisions`` times — once the site is back
+        up, and its unfinished tasks move to the successor.
+        """
         job = Job(
             user=user,
             account=account,
@@ -143,7 +166,13 @@ class PilotManager:
             attributes=dict(attributes or {}),
             true_modality=true_modality,
         )
-        pilot = Pilot(self.sim, job, cores)
+        pilot = Pilot(
+            self.sim,
+            job,
+            cores,
+            reprovision=reprovision,
+            max_reprovisions=max_reprovisions if reprovision else 0,
+        )
         self.pilots.append(pilot)
         site.submit(job)
         self.sim.process(self._drive(site, pilot), name=f"pilot-{job.job_id}")
@@ -158,3 +187,34 @@ class PilotManager:
             pilot._activate()
         yield completion
         pilot._deactivate()
+        # Walltime truncation (KILLED_WALLTIME) is the classic pilot hazard
+        # and stays a loss; only infrastructure death (FAILED) is recoverable.
+        if not pilot.reprovision or job.state is not JobState.FAILED:
+            return
+        stranded = [t for t in pilot.tasks if not t.done]
+        if not stranded:
+            return
+        self.pilots_lost += 1
+        if pilot.reprovisions_left <= 0:
+            return
+        if hasattr(site, "wait_until_up"):
+            yield site.wait_until_up()
+        replacement = self.launch(
+            site,
+            user=job.user,
+            account=job.account,
+            cores=pilot.cores,
+            walltime=job.walltime,
+            attributes=dict(job.attributes),
+            true_modality=job.true_modality,
+            reprovision=True,
+            max_reprovisions=pilot.reprovisions_left - 1,
+        )
+        pilot.replacement = replacement
+        self.pilots_reprovisioned += 1
+        for task in stranded:
+            if task in pilot.lost:
+                pilot.lost.remove(task)
+            task.started_at = None
+            replacement.submit_task(task)
+            self.tasks_rescued += 1

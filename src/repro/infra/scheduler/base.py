@@ -76,6 +76,9 @@ class BatchScheduler:
         self.running: dict[int, RunningJob] = {}
         self.reservations: list[Reservation] = []
         self.free_nodes = cluster.nodes
+        #: while True, policy passes are no-ops (machine down); queued jobs
+        #: survive the outage, exactly as a PBS server restart preserves them
+        self.suspended = False
         self.completed: list[Job] = []
         self._seq = itertools.count()
         self._arrival_order: dict[int, int] = {}
@@ -141,6 +144,38 @@ class BatchScheduler:
         else:
             raise ValueError(f"cannot cancel job in state {job.state}")
 
+    def withdraw(self, job: Job) -> tuple:
+        """Silently pull a *pending* job back out (metascheduler failover).
+
+        Unlike :meth:`cancel` this is not a terminal transition: no usage
+        record is emitted and the job reverts to ``CREATED`` as if it had
+        never been submitted here, ready for resubmission elsewhere.  The
+        job's (completion, start) events are returned so the caller can
+        bridge existing waiters onto wherever the job lands next.
+        """
+        if job.state is not JobState.PENDING:
+            raise ValueError(
+                f"can only withdraw a pending job; {job.job_id} is {job.state}"
+            )
+        self.queue.remove(job)
+        self._arrival_order.pop(job.job_id, None)
+        completion = self._completions.pop(job.job_id)
+        start = self._starts.pop(job.job_id)
+        job.state = JobState.CREATED
+        job.submit_time = None
+        job.resource = None
+        self._schedule_pass()
+        return completion, start
+
+    def suspend(self) -> None:
+        """Freeze scheduling (site outage): nothing starts until resume."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        """Lift a suspension and immediately re-run the policy."""
+        self.suspended = False
+        self._schedule_pass()
+
     def add_reservation(self, reservation: Reservation) -> Reservation:
         """Register an advance reservation and re-run scheduling at its edges."""
         if reservation.end <= reservation.start:
@@ -193,6 +228,8 @@ class BatchScheduler:
         purely by *time* (a ``not_before`` constraint, or waiting out a
         reservation on an otherwise idle machine) needs an explicit wake-up.
         """
+        if self.suspended:
+            return
         self._policy_pass()
         self._arm_head_wakeup()
 
@@ -325,7 +362,7 @@ class BatchScheduler:
         except Interrupt as interrupt:
             # A user cancellation and a hardware fault end the job the same
             # way mechanically, but accounting distinguishes them.
-            if interrupt.cause == "node_failure":
+            if interrupt.cause in ("node_failure", "site_outage"):
                 final_state = JobState.FAILED
             else:
                 final_state = JobState.CANCELLED

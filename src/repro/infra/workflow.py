@@ -18,7 +18,7 @@ from typing import Optional
 import networkx as nx
 
 from repro.infra.job import AttributeKeys, Job, JobState
-from repro.infra.metascheduler import Metascheduler
+from repro.infra.metascheduler import Metascheduler, NoEligibleSiteError
 from repro.infra.network import Network
 from repro.sim import AllOf, Simulator
 
@@ -217,7 +217,12 @@ class WorkflowEngine:
                 attributes=attributes,
                 true_modality=true_modality,
             )
-            provider = self.metascheduler.select(job)
+            try:
+                provider = self.metascheduler.select(job)
+            except NoEligibleSiteError:
+                # Whole federation believed down: aim at the first provider
+                # (deterministic) and let _run_task wait out the outage.
+                provider = self.metascheduler.providers[0]
             done = self.sim.event()
             self.sim.process(
                 self._run_task(provider, job, graph, task_name, finished, done),
@@ -280,6 +285,16 @@ class WorkflowEngine:
                     yield transfer_done
                     staging += 1
         job._staging_transfers = staging  # type: ignore[attr-defined]
-        provider.submit(job)
+        # The provider was chosen before staging; it may have dropped while
+        # the inputs moved.  submit_to fails over to another site, and if the
+        # whole federation is believed down we wait out the outage here.
+        try:
+            provider = self.metascheduler.submit_to(provider, job)
+        except NoEligibleSiteError:
+            yield provider.wait_until_up()
+            provider = self.metascheduler.submit_to(provider, job)
+        # Capture the wait event immediately: if the site later dies and the
+        # metascheduler requeues the job, this event is bridged to wherever
+        # the job lands, so the workflow never dangles.
         yield provider.scheduler.wait_for(job)
         done.succeed(job)

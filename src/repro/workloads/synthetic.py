@@ -16,11 +16,16 @@ import repro.infra as infra
 from repro.core.modalities import Modality
 from repro.infra.accounting import CentralAccountingDB, UsageRecord
 from repro.infra.metascheduler import SelectionStrategy
+from repro.infra.resilience import OutagePolicy, SiteOutageInjector
 from repro.infra.scheduler.base import BatchScheduler
 from repro.infra.scheduler.backfill import EasyBackfillScheduler
-from repro.infra.units import DAY, HOUR
+from repro.infra.units import DAY, HOUR, MINUTE
 from repro.sim import RandomStreams, Simulator
-from repro.users.behavior import SimulationContext, start_behaviors
+from repro.users.behavior import (
+    RecoveryPolicy,
+    SimulationContext,
+    start_behaviors,
+)
 from repro.users.population import Population, PopulationSpec, build_population
 from repro.users.profiles import BehaviorProfile
 from repro.workloads.scenarios import SiteSpec, federation_specs
@@ -47,6 +52,14 @@ class ScenarioConfig:
     sites: Optional[tuple[SiteSpec, ...]] = None
     #: gateway end users activate uniformly over this many days (0 = at once)
     gateway_adoption_ramp_days: float = 0.0
+    #: unplanned-outage process per site (None = no outages, legacy runs)
+    outages: Optional[OutagePolicy] = None
+    #: how long the info service keeps serving pre-outage state for a dead site
+    outage_propagation_lag: float = 10 * MINUTE
+    #: per-modality reaction to infrastructure failure (None = legacy)
+    recovery: Optional[dict[Modality, RecoveryPolicy]] = None
+    #: gateway requests held through a backend outage (0 = shed them all)
+    gateway_backlog: int = 0
 
     @property
     def horizon(self) -> float:
@@ -65,6 +78,9 @@ class ScenarioResult:
     sim: Simulator
     ledger: infra.AllocationLedger
     network: infra.Network
+    metascheduler: Optional[infra.Metascheduler] = None
+    context: Optional[SimulationContext] = None
+    injectors: list = field(default_factory=list)
 
     @property
     def records(self) -> list[UsageRecord]:
@@ -169,9 +185,25 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
             community_account=account,
             rng=streams.stream(f"gateway:{name}"),
             tagging_coverage=config.gateway_tagging_coverage,
+            sim=sim,
+            max_backlog=config.gateway_backlog,
         )
         for name, (community_user, account) in population.community_accounts.items()
     }
+
+    injectors = []
+    if config.outages is not None:
+        info.outage_propagation_lag = config.outage_propagation_lag
+        injectors = [
+            infra.SiteOutageInjector(
+                sim,
+                provider,
+                streams.stream(f"outage:{provider.name}"),
+                policy=config.outages,
+                metascheduler=meta,
+            )
+            for provider in providers
+        ]
 
     ctx = SimulationContext(
         sim=sim,
@@ -183,6 +215,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         coallocator=coalloc,
         gateway_adoption_ramp=config.gateway_adoption_ramp_days * DAY,
         network=network,
+        recovery=config.recovery,
     )
     start_behaviors(ctx, population, profiles=config.profiles)
 
@@ -199,4 +232,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         sim=sim,
         ledger=ledger,
         network=network,
+        metascheduler=meta,
+        context=ctx,
+        injectors=injectors,
     )

@@ -14,7 +14,7 @@ from repro.experiments.base import campaign
 ALL_IDS = {
     "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
     "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-    "A1", "A2", "A3", "R1",
+    "A1", "A2", "A3", "A4", "R1",
 }
 
 

@@ -132,3 +132,35 @@ def test_injection_is_seed_stable():
     assert first[0].failures_injected == second[0].failures_injected
     assert [j.state for j in first[1]] == [j.state for j in second[1]]
     assert [j.end_time for j in first[1]] == [j.end_time for j in second[1]]
+
+
+def test_no_strikes_on_nodes_inside_active_maintenance_window():
+    """An active full-machine drain shields running work from node strikes.
+
+    The drained slice is powered down for service, so its nodes cannot
+    strike; with the whole machine behind an (emergency) maintenance
+    reservation, a running job sees zero failures even at an absurd MTBF —
+    and strikes resume the moment the window lifts.
+    """
+    sim, site, central, ledger = make_site(nodes=8)
+    injector = I.NodeFailureInjector(
+        sim, site.scheduler, np.random.default_rng(2),
+        node_mtbf=0.1 * HOUR,  # ~10 expected strikes per node-hour
+        tick=0.25 * HOUR,
+    )
+    victim = job(cores=8, walltime=30 * HOUR)  # 2 of 8 nodes busy
+    site.submit(victim)
+    sim.run(until=0.1 * HOUR)  # job is running before the window opens
+    from repro.infra.scheduler.base import Reservation
+    site.scheduler.add_reservation(
+        Reservation(start=sim.now, end=10 * HOUR, nodes=8, access=None,
+                    label="emergency-pm")
+    )
+    sim.run(until=9.9 * HOUR)  # stop just shy of the window-end tick
+    assert victim.state is JobState.RUNNING
+    assert injector.failures_injected == 0, (
+        "nodes inside an active maintenance window must not strike"
+    )
+    sim.run(until=14 * HOUR)  # window over: exposure (and strikes) return
+    assert injector.failures_injected > 0
+    assert victim.state is JobState.FAILED

@@ -1,0 +1,127 @@
+"""Recovery policies: checkpoint arithmetic bounds and behaviour wiring.
+
+The property test holds :func:`repro.infra.resilience.saved_progress` — the
+one checkpoint formula shared by the A3 campaign loop and every per-modality
+recovery path — to the loss bound the A3/A4 write-ups claim: work lost to a
+single failure never exceeds one checkpoint interval, so the total penalty
+per failure is bounded by ``checkpoint_interval + restart_overhead``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.modalities import Modality
+from repro.infra.resilience import OutagePolicy, saved_progress
+from repro.infra.units import DAY, HOUR, MINUTE
+from repro.users.behavior import DEFAULT_RECOVERY, RecoveryPolicy, no_recovery
+from repro.workloads.synthetic import ScenarioConfig, run_scenario
+
+
+# -- saved_progress properties ---------------------------------------------
+
+@given(
+    elapsed=st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+    interval=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+def test_loss_per_failure_is_bounded_by_one_interval(elapsed, interval):
+    saved = saved_progress(elapsed, interval)
+    assert 0.0 <= saved <= elapsed
+    lost = elapsed - saved
+    assert lost < interval or lost == pytest.approx(interval)
+    # Saved progress is an integer number of intervals.
+    assert saved == (elapsed // interval) * interval
+
+
+@given(
+    elapsed=st.floats(min_value=0.0, max_value=1e8, allow_nan=False),
+    interval=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    overhead=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+)
+def test_total_penalty_bounded_by_interval_plus_overhead(
+    elapsed, interval, overhead
+):
+    """Redone work + restart overhead <= checkpoint_interval + overhead."""
+    lost = elapsed - saved_progress(elapsed, interval)
+    penalty = lost + overhead
+    assert penalty <= interval + overhead + 1e-6 * interval
+
+
+@given(
+    a=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    b=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    interval=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+)
+def test_saved_progress_is_monotone_in_elapsed(a, b, interval):
+    lo, hi = sorted((a, b))
+    assert saved_progress(lo, interval) <= saved_progress(hi, interval)
+
+
+def test_saved_progress_edge_cases():
+    assert saved_progress(12345.0, None) == 0.0  # no checkpointing
+    assert saved_progress(0.0, 3600.0) == 0.0
+    assert saved_progress(-5.0, 3600.0) == 0.0
+    assert saved_progress(7200.0, 3600.0) == 7200.0  # exact boundary
+    with pytest.raises(ValueError):
+        saved_progress(10.0, 0.0)
+
+
+# -- policy objects --------------------------------------------------------
+
+def test_backoff_grows_geometrically():
+    policy = RecoveryPolicy(backoff_base=10 * MINUTE, backoff_factor=2.0)
+    assert policy.backoff(1) == 10 * MINUTE
+    assert policy.backoff(2) == 20 * MINUTE
+    assert policy.backoff(3) == 40 * MINUTE
+
+
+def test_default_recovery_covers_every_modality():
+    assert set(DEFAULT_RECOVERY) == set(Modality)
+    assert set(no_recovery()) == set(Modality)
+    # Capability (coupled) work is the checkpointing modality.
+    assert DEFAULT_RECOVERY[Modality.COUPLED].checkpoint_interval is not None
+    for policy in no_recovery().values():
+        assert not policy.resubmit and policy.max_attempts == 1
+
+
+# -- behaviour wiring under outages ----------------------------------------
+
+def _resilient_scenario(recovery, seed=5):
+    return run_scenario(
+        ScenarioConfig(
+            scale="small",
+            days=3.0,
+            seed=seed,
+            outages=OutagePolicy(site_mtbf=1 * DAY, partial_mtbf=2 * DAY),
+            recovery=recovery,
+            gateway_backlog=16,
+        )
+    )
+
+
+@pytest.mark.slow
+def test_recovery_policies_resubmit_and_cut_abandonment():
+    give_up = _resilient_scenario(no_recovery())
+    retry = _resilient_scenario(DEFAULT_RECOVERY)
+    assert sum(i.outage_count for i in give_up.injectors) > 0
+    # Giving up on first failure must abandon work; retrying must resubmit.
+    assert sum(give_up.context.abandonments.values()) > 0
+    assert sum(retry.context.resubmissions.values()) > 0
+    assert (
+        sum(retry.context.abandonments.values())
+        < sum(give_up.context.abandonments.values())
+    )
+
+
+@pytest.mark.slow
+def test_recovery_runs_are_seed_stable():
+    first = _resilient_scenario(DEFAULT_RECOVERY, seed=8)
+    second = _resilient_scenario(DEFAULT_RECOVERY, seed=8)
+    assert first.context.resubmissions == second.context.resubmissions
+    assert first.context.abandonments == second.context.abandonments
+    assert [
+        (o.kind, o.start) for i in first.injectors for o in i.outages
+    ] == [(o.kind, o.start) for i in second.injectors for o in i.outages]
+    a = sorted((r.job_id, r.charged_nu) for r in first.records)
+    b = sorted((r.job_id, r.charged_nu) for r in second.records)
+    assert len(a) == len(b)
+    assert [nu for _id, nu in a] == pytest.approx([nu for _id, nu in b])
