@@ -12,8 +12,10 @@ Usage::
     python -m repro taxonomy            # print the modality taxonomy
 
 ``run-all`` and ``run`` accept ``--jobs N`` (default: ``REPRO_JOBS`` env,
-then CPU count), ``--no-cache``, ``--task-timeout SECONDS`` and
-``--retries N``.  ``run-all`` additionally journals its progress under
+then CPU count), ``--no-cache``, ``--task-timeout SECONDS``, ``--retries N``,
+``--no-artifacts`` / ``--artifacts-dir`` (the campaign artifact store behind
+the runner's simulate-once/measure-everywhere two-stage DAG) and
+``--timings`` (per-stage wall-clock and campaign dedup counters on stderr).  ``run-all`` additionally journals its progress under
 ``<runs-dir>/<run-id>/journal.jsonl`` (``--runs-dir``, default ``runs/`` or
 ``REPRO_RUNS_DIR``) so an interrupted sweep can be continued with
 ``--resume <run-id>`` — completed tasks are skipped via the result cache
@@ -46,10 +48,20 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=4, metavar="N",
                         help="retries per task after transient failures — worker "
                              "crashes and timeouts, never task exceptions (default: 4)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="disable the campaign artifact store: every task "
+                             "re-simulates its campaign (slower, same bytes)")
+    parser.add_argument("--artifacts-dir", default=None,
+                        help="campaign artifact store directory (default: "
+                             "<cache-dir>/artifacts or REPRO_ARTIFACT_DIR)")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-stage wall-clock and campaign dedup "
+                             "counters to stderr")
 
 
 def _build_runner(args, journal=None, resume_keys=()):
     from repro.runner import (
+        ArtifactStore,
         ParallelRunner,
         ResultCache,
         RetryPolicy,
@@ -62,6 +74,9 @@ def _build_runner(args, journal=None, resume_keys=()):
     cache = None
     if not args.no_cache and args.cache_dir:
         cache = ResultCache(root=args.cache_dir)
+    artifacts = None
+    if not args.no_cache and not args.no_artifacts:
+        artifacts = ArtifactStore(root=_artifact_root(args))
     return ParallelRunner(
         jobs=args.jobs,
         cache=cache,
@@ -70,7 +85,21 @@ def _build_runner(args, journal=None, resume_keys=()):
         retry=RetryPolicy(max_attempts=args.retries + 1),
         journal=journal,
         resume_keys=resume_keys,
+        artifacts=artifacts,
     )
+
+
+def _artifact_root(args):
+    """``--artifacts-dir`` > ``<--cache-dir>/artifacts`` > env/default."""
+    from pathlib import Path
+
+    from repro.runner import default_artifact_dir
+
+    if getattr(args, "artifacts_dir", None):
+        return Path(args.artifacts_dir)
+    if getattr(args, "cache_dir", None):
+        return Path(args.cache_dir) / "artifacts"
+    return default_artifact_dir()
 
 
 def _fault_note(runner) -> str:
@@ -84,9 +113,28 @@ def _fault_note(runner) -> str:
         parts.append(f"degraded: {len(runner.degraded_tasks)}")
     if runner.resume_skipped:
         parts.append(f"resumed: {runner.resume_skipped} skipped")
+    if runner.campaign_failures:
+        parts.append(f"campaign-stage-failures: {len(runner.campaign_failures)}")
     if runner.failures:
         parts.append(f"failed: {len(runner.failures)}")
     return (", " + ", ".join(parts)) if parts else ""
+
+
+def _print_timings(runner) -> None:
+    """``--timings``: per-stage wall-clock + campaign dedup, on stderr."""
+    stages = ", ".join(
+        f"{stage}: {seconds:.2f}s"
+        for stage, seconds in runner.stage_seconds.items()
+    ) or "none"
+    stats = runner.campaign_stats
+    print(f"[timings: {stages}]", file=sys.stderr)
+    print(
+        f"[campaigns: {stats['distinct']} distinct, "
+        f"{stats['simulated']} simulated, {stats['reused']} reused, "
+        f"{stats['fallbacks']} fallback simulations, "
+        f"{stats['loads']} artifact loads ({stats['load_seconds']:.2f}s)]",
+        file=sys.stderr,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -137,10 +185,21 @@ def main(argv: list[str] | None = None) -> int:
                             help="override the master seed")
     _add_parallel_flags(run_parser)
 
-    cache_parser = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect or clear the result cache and campaign artifact store",
+    )
+    cache_parser.add_argument(
+        "action", choices=["info", "clear", "stats", "gc"],
+        help="info/clear: the result cache; stats: result cache + artifact "
+             "store counts and bytes; gc: prune artifacts whose code-version "
+             "no longer matches the working tree",
+    )
     cache_parser.add_argument("--cache-dir", default=None,
                               help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_parser.add_argument("--artifacts-dir", default=None,
+                              help="artifact store directory (default: "
+                                   "<cache-dir>/artifacts or REPRO_ARTIFACT_DIR)")
 
     args = parser.parse_args(argv)
 
@@ -151,12 +210,30 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "cache":
-        from repro.runner import ResultCache
+        from repro.runner import ArtifactStore, ResultCache
 
         cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
         if args.action == "clear":
             removed = cache.clear()
             print(f"removed {removed} cached results from {cache.root}")
+        elif args.action == "stats":
+            store = ArtifactStore(root=_artifact_root(args))
+            print(f"cache dir:    {cache.root}")
+            print(f"entries:      {len(cache.entries())}")
+            print(f"size:         {cache.size_bytes()} bytes")
+            print(f"artifact dir: {store.root}")
+            print(f"artifacts:    {len(store.entries())}"
+                  f" ({len(store.current_entries())} current code version)")
+            print(f"quarantined:  {len(store.quarantined_entries())}")
+            print(f"artifact size: {store.size_bytes()} bytes")
+            print(f"code version: {store.version}")
+        elif args.action == "gc":
+            store = ArtifactStore(root=_artifact_root(args))
+            removed = store.gc()
+            print(
+                f"pruned {removed} stale artifact(s) from {store.root} "
+                f"(kept code version {store.version})"
+            )
         else:
             entries = cache.entries()
             print(f"cache dir:    {cache.root}")
@@ -254,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{cache_note}{_fault_note(runner)}, {elapsed:.1f}s]",
             file=sys.stderr,
         )
+        if args.timings:
+            _print_timings(runner)
         for failure in runner.failures:
             print(f"[task failed] {failure.experiment_id}: {failure.describe()}",
                   file=sys.stderr)
@@ -280,12 +359,15 @@ def main(argv: list[str] | None = None) -> int:
         knobs["seed"] = args.seed
     use_runner = (
         args.jobs is not None or args.no_cache or args.cache_dir is not None
-        or args.task_timeout is not None
+        or args.task_timeout is not None or args.no_artifacts
+        or args.artifacts_dir is not None or args.timings
     )
     try:
         if use_runner:
             runner = _build_runner(args)
             output = runner.run(args.experiment_id.upper(), **knobs)
+            if args.timings:
+                _print_timings(runner)
             if runner.failures:
                 print(output)
                 for failure in runner.failures:

@@ -23,8 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.users.population import PopulationSpec
-from repro.workloads import ScenarioConfig, ScenarioResult, run_scenario
+from repro.workloads import ScenarioResult, run_scenario
+from repro.workloads.synthetic import (
+    CAMPAIGN_DAYS,
+    CAMPAIGN_POPULATION_SCALE,
+    CAMPAIGN_SCALE,
+    CAMPAIGN_SEED,
+    CampaignArtifact,
+    CampaignKey,
+)
 
 __all__ = [
     "ExperimentOutput",
@@ -32,8 +39,10 @@ __all__ = [
     "TaskPlan",
     "registry",
     "task_plans",
+    "campaign_plans",
     "register",
     "register_tasks",
+    "register_campaigns",
     "run_experiment",
     "run_via_tasks",
     "plan_tasks",
@@ -41,15 +50,15 @@ __all__ = [
     "execute_task",
     "merge_tasks",
     "campaign",
+    "campaign_key",
+    "task_campaign_keys",
+    "CAMPAIGN_STAGE_ID",
     "CAMPAIGN_DAYS",
     "CAMPAIGN_SEED",
 ]
 
-#: The canonical campaign most table experiments share (DESIGN.md §4).
-CAMPAIGN_DAYS = 90.0
-CAMPAIGN_SEED = 1
-CAMPAIGN_SCALE = "small"
-CAMPAIGN_POPULATION_SCALE = 0.05
+#: Pseudo experiment id of the runner's stage-1 (simulate-a-campaign) tasks.
+CAMPAIGN_STAGE_ID = "__campaign__"
 
 
 @dataclass
@@ -188,6 +197,9 @@ def plan_tasks(experiment_id: str, **knobs) -> list[ExperimentTask]:
 def execute_task(task: ExperimentTask) -> Any:
     """Compute one task's partial result (pure; safe in a worker process)."""
     params = dict(task.params)
+    stage_key = params.pop(CAMPAIGN_STAGE_ID, None)
+    if stage_key is not None:
+        return _execute_campaign_stage(stage_key)
     whole = params.pop("__whole__", None)
     if whole is not None:
         return registry[whole](**params)
@@ -217,7 +229,14 @@ def run_via_tasks(experiment_id: str, **knobs) -> ExperimentOutput:
     return merge_tasks(experiment_id, partials, **knobs)
 
 
-_campaign_cache: dict[tuple, ScenarioResult] = {}
+#: In-process campaign memo, keyed by canonical :class:`CampaignKey`.  Holds
+#: live :class:`ScenarioResult` objects (no artifact store) or
+#: :class:`CampaignArtifact` snapshots (store active) — the two expose the
+#: same measurement surface.
+_campaign_cache: dict[CampaignKey, ScenarioResult | CampaignArtifact] = {}
+
+#: :func:`campaign`'s knob names, in :meth:`CampaignKey.make` order.
+campaign_key = CampaignKey.make
 
 
 def campaign(
@@ -227,29 +246,106 @@ def campaign(
     population_scale: float = CAMPAIGN_POPULATION_SCALE,
     gateway_tagging_coverage: float = 1.0,
     gateway_adoption_ramp_days: float = 0.0,
-) -> ScenarioResult:
-    """The shared campaign, memoized per knob combination.
+) -> ScenarioResult | CampaignArtifact:
+    """The shared campaign, memoized per canonical knob combination.
 
-    Several experiments read different aspects of the same run; caching keeps
-    the benchmark suite's wall-clock dominated by distinct simulations only.
+    Several experiments read different aspects of the same run; the
+    in-process memo keeps a serial suite's wall-clock dominated by distinct
+    simulations only.  The key is canonicalized (``days=90`` and
+    ``days=90.0`` are one campaign), so spelling differences between callers
+    can no longer duplicate simulations.
+
+    When an artifact store is active (the parallel runner's two-stage mode,
+    :mod:`repro.runner.artifacts`), resolution goes memo → stored
+    :class:`CampaignArtifact` → live simulation; a live simulation under an
+    active store is serialized back into it so every other process of the
+    sweep reuses it instead of re-simulating.
     """
-    key = (
-        days,
-        seed,
-        scale,
-        population_scale,
-        gateway_tagging_coverage,
-        gateway_adoption_ramp_days,
+    key = CampaignKey.make(
+        days=days,
+        seed=seed,
+        scale=scale,
+        population_scale=population_scale,
+        gateway_tagging_coverage=gateway_tagging_coverage,
+        gateway_adoption_ramp_days=gateway_adoption_ramp_days,
     )
-    if key not in _campaign_cache:
-        _campaign_cache[key] = run_scenario(
-            ScenarioConfig(
-                scale=scale,
-                days=days,
-                seed=seed,
-                population=PopulationSpec(scale=population_scale),
-                gateway_tagging_coverage=gateway_tagging_coverage,
-                gateway_adoption_ramp_days=gateway_adoption_ramp_days,
-            )
-        )
-    return _campaign_cache[key]
+    cached = _campaign_cache.get(key)
+    if cached is not None:
+        return cached
+
+    from repro.runner import artifacts as artifact_mod
+
+    store = artifact_mod.active_store()
+    if store is not None:
+        artifact = store.load(key)
+        if artifact is not None:
+            _campaign_cache[key] = artifact
+            return artifact
+
+    result = run_scenario(key.config())
+    if store is not None:
+        artifact_mod.note_simulation()
+        artifact = CampaignArtifact.from_result(result, key=key)
+        store.save(key, artifact)
+        _campaign_cache[key] = artifact
+        return artifact
+    _campaign_cache[key] = result
+    return result
+
+
+# -- campaign dependencies (the runner's stage-1 planning input) ---------------
+
+campaign_plans: dict[str, Callable[[dict], Any]] = {}
+
+
+def register_campaigns(
+    experiment_id: str, campaigns: Callable[[dict], Any]
+) -> None:
+    """Declare which campaigns ``experiment_id``'s tasks read.
+
+    ``campaigns(params)`` receives one task's params (``__whole__`` already
+    stripped) and returns the :class:`CampaignKey` list that task resolves
+    through :func:`campaign`.  The parallel runner uses the declarations to
+    simulate each distinct campaign exactly once before fanning measurement
+    tasks out; an undeclared (or under-declared) experiment still runs
+    correctly — its workers just fall back to live simulation on a store
+    miss.
+    """
+    if experiment_id in campaign_plans:
+        raise ValueError(f"duplicate campaign plan for {experiment_id!r}")
+    campaign_plans[experiment_id] = campaigns
+
+
+def task_campaign_keys(task: ExperimentTask) -> tuple[CampaignKey, ...]:
+    """The campaigns ``task`` is declared to depend on (() = undeclared)."""
+    campaigns = campaign_plans.get(task.experiment_id)
+    if campaigns is None:
+        return ()
+    params = {k: v for k, v in task.params.items() if k != "__whole__"}
+    return tuple(campaigns(params))
+
+
+def _execute_campaign_stage(key_fields: dict) -> dict:
+    """Stage-1 task body: ensure one campaign's artifact exists.
+
+    Runs inside a worker (or inline): resolves :func:`campaign` under the
+    stage marker so a live simulation counts as *expected* work rather than
+    a dedup miss, and reports whether this process actually simulated.
+    """
+    from repro.runner import artifacts as artifact_mod
+
+    key = CampaignKey.make(**key_fields)
+    with artifact_mod.campaign_stage():
+        before = artifact_mod.STATS.simulations
+        result = campaign(**key.asdict())
+        simulated = artifact_mod.STATS.simulations > before
+        store = artifact_mod.active_store()
+        if store is not None and not store.has(key):
+            # A memo hit (e.g. a store-less run earlier in this process, or
+            # a forked worker inheriting the parent memo) satisfied the call
+            # without writing: stage 1's one job is to leave an artifact
+            # behind for stage 2 and future runs, so persist it now.
+            if not isinstance(result, CampaignArtifact):
+                result = CampaignArtifact.from_result(result, key=key)
+            store.save(key, result)
+    return {"campaign": key.asdict(), "simulated": simulated}

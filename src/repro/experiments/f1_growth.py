@@ -10,7 +10,13 @@ from __future__ import annotations
 from repro.core import quarterly_user_counts
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import ascii_table, series_block
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 from repro.infra.units import QUARTER
 
 __all__ = ["run"]
@@ -61,3 +67,18 @@ def run(
             m.value: [series[q][m] for q in quarters] for m in MODALITY_ORDER
         },
     )
+
+
+def _campaigns(params: dict) -> list:
+    """F1's year-long adoption campaign (``ramp_days`` maps to the ramp knob)."""
+    return [
+        campaign_key(
+            days=params.get("days", 364.0),
+            seed=params.get("seed", 1),
+            population_scale=params.get("population_scale", 0.03),
+            gateway_adoption_ramp_days=params.get("ramp_days", 270.0),
+        )
+    ]
+
+
+register_campaigns("F1", _campaigns)

@@ -12,7 +12,13 @@ import numpy as np
 from repro.core import AttributeClassifier, compute_metrics
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import ascii_table, series_block
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 
 __all__ = ["run"]
 
@@ -53,3 +59,16 @@ def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput
         text=table + "\n\n" + figure,
         data={"ccdf": ccdf},
     )
+
+
+def _campaigns(params: dict) -> list:
+    """The one campaign F2's (single) task reads — see ``run``'s knobs."""
+    knobs = dict(params)
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("F2", _campaigns)

@@ -18,7 +18,9 @@ from repro.experiments.base import (
     ExperimentOutput,
     ExperimentTask,
     campaign,
+    campaign_key,
     register,
+    register_campaigns,
     register_tasks,
     run_via_tasks,
 )
@@ -125,7 +127,19 @@ def merge(
     )
 
 
+def _campaigns(params: dict) -> list:
+    """Each F6 sweep point is its own campaign at one tagging coverage."""
+    return [
+        campaign_key(
+            days=params["days"],
+            seed=params["seed"],
+            gateway_tagging_coverage=params["coverage"],
+        )
+    ]
+
+
 register_tasks("F6", plan=plan, execute=execute, merge=merge)
+register_campaigns("F6", _campaigns)
 
 
 @register("F6")

@@ -18,7 +18,13 @@ import numpy as np
 
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import ascii_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 
 __all__ = ["run"]
 
@@ -78,3 +84,16 @@ def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput
         text=text,
         data=data,
     )
+
+
+def _campaigns(params: dict) -> list:
+    """The one campaign F9's (single) task reads — see ``run``'s knobs."""
+    knobs = dict(params)
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("F9", _campaigns)

@@ -27,7 +27,9 @@ from repro.experiments.base import (
     ExperimentOutput,
     ExperimentTask,
     campaign,
+    campaign_key,
     register,
+    register_campaigns,
     register_tasks,
     run_via_tasks,
 )
@@ -125,7 +127,19 @@ def merge(
     )
 
 
+def _campaigns(params: dict) -> list:
+    """Each R1 replicate simulates its own campaign at one seed."""
+    return [
+        campaign_key(
+            days=params["days"],
+            seed=params["seed"],
+            population_scale=params["population_scale"],
+        )
+    ]
+
+
 register_tasks("R1", plan=plan, execute=execute, merge=merge)
+register_campaigns("R1", _campaigns)
 
 
 @register("R1")

@@ -16,7 +16,13 @@ from repro.core import (
 from repro.core.evaluation import user_count_errors
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import modality_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 
 __all__ = ["run"]
 
@@ -83,3 +89,16 @@ def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput
             },
         },
     )
+
+
+def _campaigns(params: dict) -> list:
+    """The one campaign T3's (single) task reads — see ``run``'s knobs."""
+    knobs = dict(params)
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("T3", _campaigns)

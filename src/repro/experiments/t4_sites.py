@@ -10,7 +10,13 @@ from __future__ import annotations
 from repro.core import AttributeClassifier, compute_metrics
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import ascii_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 
 __all__ = ["run"]
 
@@ -50,3 +56,16 @@ def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput
             for site in sites
         },
     )
+
+
+def _campaigns(params: dict) -> list:
+    """The one campaign T4's (single) task reads — see ``run``'s knobs."""
+    knobs = dict(params)
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("T4", _campaigns)

@@ -12,7 +12,13 @@ import numpy as np
 from repro.core import AttributeClassifier, SurveyInstrument
 from repro.core.modalities import MODALITY_ORDER
 from repro.core.report import modality_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 
 __all__ = ["run"]
 
@@ -71,3 +77,16 @@ def run(
             "response_rate": outcome.response_rate,
         },
     )
+
+
+def _campaigns(params: dict) -> list:
+    """T5's campaign: every knob except ``survey_seed`` (survey-side only)."""
+    knobs = {k: v for k, v in params.items() if k != "survey_seed"}
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("T5", _campaigns)

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from repro.core.records import resolve_identity
 from repro.core.report import ascii_table
-from repro.experiments.base import ExperimentOutput, campaign, register
+from repro.experiments.base import (
+    ExperimentOutput,
+    campaign,
+    campaign_key,
+    register,
+    register_campaigns,
+)
 from repro.infra.job import AttributeKeys
 
 __all__ = ["run"]
@@ -76,3 +82,16 @@ def run(days: float = 90.0, seed: int = 1, **campaign_knobs) -> ExperimentOutput
         text=text,
         data=data,
     )
+
+
+def _campaigns(params: dict) -> list:
+    """The one campaign T7's (single) task reads — see ``run``'s knobs."""
+    knobs = dict(params)
+    return [
+        campaign_key(
+            days=knobs.pop("days", 90.0), seed=knobs.pop("seed", 1), **knobs
+        )
+    ]
+
+
+register_campaigns("T7", _campaigns)

@@ -9,6 +9,13 @@ worker count or scheduling order.  An on-disk :class:`ResultCache` keyed by
 ``(experiment, params-hash, seed, code-version)`` makes re-running a sweep
 recompute only what changed.
 
+With an :class:`ArtifactStore` attached, execution becomes a two-stage task
+DAG: the distinct campaigns the planned tasks depend on (declared via
+:func:`repro.experiments.base.register_campaigns`) are simulated exactly
+once each into checksummed on-disk :class:`CampaignArtifact` snapshots, and
+the measurement tasks then fan out over the stored artifacts instead of
+re-simulating per task — see :mod:`repro.runner.artifacts`.
+
 Fault tolerance (see :mod:`repro.runner.parallel` for the full contract):
 transient infrastructure failures — killed workers, wall-clock timeouts,
 wedged pools — are retried with deterministic backoff and ultimately
@@ -19,6 +26,11 @@ task exceptions are contained as structured :class:`TaskFailure` records; a
 injects exactly these failures to prove it.
 """
 
+from repro.runner.artifacts import (
+    ArtifactStats,
+    ArtifactStore,
+    default_artifact_dir,
+)
 from repro.runner.cache import CacheStats, ResultCache, code_version
 from repro.runner.chaos import ChaosConfig, chaos_from_env
 from repro.runner.journal import RunJournal, default_runs_dir, new_run_id, task_key
@@ -26,6 +38,8 @@ from repro.runner.parallel import ParallelRunner, resolve_jobs
 from repro.runner.retry import RetryPolicy, TaskFailure
 
 __all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
     "CacheStats",
     "ChaosConfig",
     "ParallelRunner",
@@ -35,6 +49,7 @@ __all__ = [
     "TaskFailure",
     "chaos_from_env",
     "code_version",
+    "default_artifact_dir",
     "default_runs_dir",
     "new_run_id",
     "resolve_jobs",

@@ -40,12 +40,20 @@ from dataclasses import asdict
 from typing import Iterable, Optional, Sequence
 
 from repro.experiments.base import (
+    CAMPAIGN_STAGE_ID,
     ExperimentOutput,
     ExperimentTask,
     execute_task,
     merge_tasks,
     plan_tasks,
     plan_timeout,
+    task_campaign_keys,
+)
+from repro.runner.artifacts import (
+    ArtifactStore,
+    activated_store,
+    stats_delta,
+    stats_snapshot,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.journal import RunJournal, task_key
@@ -116,6 +124,7 @@ class ParallelRunner:
         journal: Optional[RunJournal] = None,
         resume_keys: Iterable[str] = (),
         max_pool_deaths: int = MAX_POOL_DEATHS,
+        artifacts: Optional[ArtifactStore] = None,
     ) -> None:
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
@@ -128,12 +137,26 @@ class ParallelRunner:
         self.journal = journal
         self.resume_keys = frozenset(resume_keys)
         self.max_pool_deaths = max(1, int(max_pool_deaths))
+        #: campaign artifact store; None disables the two-stage task DAG
+        self.artifacts = artifacts
         # -- per-runner telemetry (surfaced on stderr by the CLI) --
         self.failures: list[TaskFailure] = []
         self.degraded_tasks: list[str] = []
         self.pool_deaths = 0
         self.retries = 0
         self.resume_skipped = 0
+        #: stage-1 failures (never fatal: measurement tasks fall back to
+        #: live simulation, so these are logged, not merged into failures)
+        self.campaign_failures: list[TaskFailure] = []
+        #: campaign dedup counters: distinct keys planned, simulated this
+        #: run, reused (artifact or memo), plus fallback simulations and
+        #: artifact load telemetry aggregated across worker processes
+        self.campaign_stats: dict = {
+            "distinct": 0, "simulated": 0, "reused": 0,
+            "fallbacks": 0, "loads": 0, "load_seconds": 0.0,
+        }
+        #: wall-clock per phase of the latest run_many (stderr-only data)
+        self.stage_seconds: dict[str, float] = {}
 
     # -- public API ----------------------------------------------------------
     def run(self, experiment_id: str, **knobs) -> ExperimentOutput:
@@ -148,12 +171,25 @@ class ParallelRunner:
         Experiments whose tasks recorded a :class:`TaskFailure` render a
         failure report in place of their merged output — one broken
         experiment never aborts the rest of the sweep.
+
+        With an :class:`ArtifactStore` attached, execution is a two-stage
+        DAG: the distinct campaigns the planned tasks depend on are
+        simulated exactly once each (stage 1, parallel across campaigns),
+        then the measurement tasks fan out over the stored artifacts
+        (stage 2).  The store stays active in this process too, so inline
+        and degraded executions resolve campaigns identically to workers.
         """
-        plans: list[list[ExperimentTask]] = [
-            plan_tasks(experiment_id, **knobs) for experiment_id, knobs in requests
-        ]
-        all_tasks = [task for tasks in plans for task in tasks]
-        partials = self._execute(all_tasks)
+        stats_before = stats_snapshot()
+        with activated_store(self.artifacts):
+            started = time.monotonic()
+            plans: list[list[ExperimentTask]] = [
+                plan_tasks(experiment_id, **knobs)
+                for experiment_id, knobs in requests
+            ]
+            self.stage_seconds["plan"] = time.monotonic() - started
+            all_tasks = [task for tasks in plans for task in tasks]
+            partials = self._execute(all_tasks)
+        self._absorb_artifact_stats(stats_delta(stats_before))
 
         outputs = []
         cursor = 0
@@ -191,13 +227,78 @@ class ParallelRunner:
                     continue
             pending.append((position, task))
 
+        if pending and self.artifacts is not None:
+            started = time.monotonic()
+            self._campaign_stage(pending)
+            self.stage_seconds["campaign"] = time.monotonic() - started
+
         if pending:
+            started = time.monotonic()
             if self.jobs == 1:
                 for position, task in pending:
                     self._run_inline(position, task, sink)
             else:
                 self._run_pool(pending, sink)
+            self.stage_seconds["measure"] = time.monotonic() - started
         return [sink[position] for position in range(len(tasks))]
+
+    # -- stage 1: the campaign tasks ------------------------------------------
+    def _campaign_stage(self, pending: Sequence[tuple[int, ExperimentTask]]) -> None:
+        """Simulate each distinct campaign the pending tasks need, once.
+
+        The distinct :class:`CampaignKey` set comes from the experiments'
+        :func:`~repro.experiments.base.register_campaigns` declarations.
+        Keys whose artifact already exists are *reused*; the rest become
+        synthetic ``__campaign__`` tasks run through the same
+        inline/pool/retry machinery as any other task (parallel across
+        campaigns).  Stage-1 failures are contained separately — a
+        measurement task whose campaign is missing falls back to a live
+        simulation in its own worker, so stage 1 can only cost time, never
+        change bytes.
+        """
+        keys: list = []
+        for _position, task in pending:
+            for key in task_campaign_keys(task):
+                if key not in keys:
+                    keys.append(key)
+        if not keys:
+            return
+        self.campaign_stats["distinct"] += len(keys)
+
+        todo = []
+        for key in keys:
+            if self.artifacts.has(key):
+                self.campaign_stats["reused"] += 1
+            else:
+                todo.append(key)
+        if not todo:
+            return
+
+        stage_tasks = [
+            ExperimentTask(
+                experiment_id=CAMPAIGN_STAGE_ID,
+                index=index,
+                params={CAMPAIGN_STAGE_ID: key.asdict()},
+                seed=key.seed,
+            )
+            for index, key in enumerate(todo)
+        ]
+        stage_sink: dict[int, object] = {}
+        failures_before = len(self.failures)
+        entries = list(enumerate(stage_tasks))
+        if self.jobs == 1:
+            for position, task in entries:
+                self._run_inline(position, task, stage_sink)
+        else:
+            self._run_pool(entries, stage_sink)
+        # Stage-1 failures are advisory (fallback keeps the sweep correct).
+        self.campaign_failures.extend(self.failures[failures_before:])
+        del self.failures[failures_before:]
+        for value in stage_sink.values():
+            if isinstance(value, dict) and value.get("simulated"):
+                self.campaign_stats["simulated"] += 1
+            elif isinstance(value, dict):
+                self.campaign_stats["reused"] += 1
 
     # -- inline (jobs=1) path -------------------------------------------------
     def _run_inline(self, position: int, task: ExperimentTask, sink: dict) -> None:
@@ -296,6 +397,11 @@ class ParallelRunner:
                 timeout=self._timeout_for(task),
                 attempt=attempt,
                 task_key=key,
+                artifact_dir=(
+                    str(self.artifacts.root)
+                    if self.artifacts is not None
+                    else None
+                ),
             )
             try:
                 future = pool.submit(run_task_hardened, spec)
@@ -358,6 +464,7 @@ class ParallelRunner:
         self, position, task, attempt, outcome, requeue, sink
     ) -> None:
         key = self._key(task)
+        self._absorb_artifact_stats(getattr(outcome, "artifact_stats", None))
         if outcome.status == OUTCOME_OK:
             self._complete(position, task, key, outcome.value,
                            attempts=attempt, sink=sink)
@@ -432,7 +539,10 @@ class ParallelRunner:
                 degraded=degraded,
             )
             return
-        if self.cache is not None:
+        if self.cache is not None and task.experiment_id != CAMPAIGN_STAGE_ID:
+            # Campaign tasks persist through the artifact store, not the
+            # result cache — caching their marker dict would mask the
+            # store-miss signal a resumed run relies on.
             self.cache.put(task.experiment_id, task.params, task.seed, value)
         self._journal(
             "task-completed", task, key,
@@ -465,6 +575,19 @@ class ParallelRunner:
             text="\n".join(lines),
             data={"failures": [asdict(failure) for failure in failures]},
         )
+
+    def _absorb_artifact_stats(self, delta: Optional[dict]) -> None:
+        """Fold one process's artifact-store counter delta into telemetry.
+
+        Driver-side activity (inline/degraded executions) arrives as one
+        delta at the end of ``run_many``; every pool execution sends its
+        own delta back inside the :class:`WorkerOutcome`.
+        """
+        if not delta:
+            return
+        self.campaign_stats["fallbacks"] += delta.get("fallbacks", 0)
+        self.campaign_stats["loads"] += delta.get("loads", 0)
+        self.campaign_stats["load_seconds"] += delta.get("load_seconds", 0.0)
 
     def _key(self, task: ExperimentTask) -> str:
         return task_key(task.experiment_id, task.params, task.seed)
@@ -500,6 +623,12 @@ class ParallelRunner:
 
     def _journal(self, event: str, task: ExperimentTask, key: str, **fields) -> None:
         if self.journal is None:
+            return
+        if task.experiment_id == CAMPAIGN_STAGE_ID:
+            # Campaign pseudo-tasks are not journaled: their durable record
+            # is the artifact itself (resume re-skips via ``store.has``),
+            # and journal completions must mean "servable from the result
+            # cache" for the resume skip-set to stay truthful.
             return
         self.journal.record(
             event,

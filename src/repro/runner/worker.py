@@ -36,6 +36,8 @@ class WorkerSpec:
     timeout: Optional[float]  # wall-clock seconds; None = unlimited
     attempt: int  # 1-based try number (keys the chaos draws)
     task_key: str  # stable identity for chaos/backoff derivations
+    #: campaign artifact store root; None = two-stage mode disabled
+    artifact_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,9 @@ class WorkerOutcome:
     message: str = ""
     traceback: str = ""
     elapsed: float = 0.0
+    #: artifact-store counter deltas from this execution (loads, load
+    #: seconds, simulations, fallbacks, ...); empty/None = nothing happened
+    artifact_stats: Optional[dict] = None
 
 
 def run_task(task) -> Any:
@@ -61,10 +66,17 @@ def run_task(task) -> Any:
 
 def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
     """Chaos-aware, timeout-limited execution with structured outcomes."""
+    from repro.runner import artifacts as artifact_mod
     from repro.runner.chaos import chaos_from_env
 
     started = time.monotonic()
     chaos = chaos_from_env()
+    if spec.artifact_dir is not None:
+        # Activate (or reuse) this process's artifact store so campaign()
+        # resolves through it; the store and its deserialization memo
+        # persist for the life of the worker.
+        artifact_mod.ensure_active_store(spec.artifact_dir)
+    stats_before = artifact_mod.stats_snapshot()
     try:
         with wall_clock_limit(spec.timeout):
             if chaos.active:
@@ -77,6 +89,7 @@ def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
             status=OUTCOME_TIMEOUT,
             message=str(exc),
             elapsed=time.monotonic() - started,
+            artifact_stats=artifact_mod.stats_delta(stats_before),
         )
     except BaseException as exc:  # the task's own failure: record, never retry
         return WorkerOutcome(
@@ -85,7 +98,11 @@ def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
             message=str(exc),
             traceback=traceback.format_exc(),
             elapsed=time.monotonic() - started,
+            artifact_stats=artifact_mod.stats_delta(stats_before),
         )
     return WorkerOutcome(
-        status=OUTCOME_OK, value=value, elapsed=time.monotonic() - started
+        status=OUTCOME_OK,
+        value=value,
+        elapsed=time.monotonic() - started,
+        artifact_stats=artifact_mod.stats_delta(stats_before),
     )

@@ -5,6 +5,18 @@ the full substrate, runs the simulation for a configured horizon, drains the
 accounting feeds and returns both the *observable* products (the central
 accounting DB) and the *ground truth* (per-job and per-identity modality
 maps) needed to score the measurement system.
+
+Two campaign-sharing companions live here as well:
+
+* :class:`CampaignKey` — the canonical identity of one shared campaign
+  (``days=90`` and ``days=90.0`` are the *same* campaign), used by the
+  in-process memo and the on-disk artifact store alike;
+* :class:`CampaignArtifact` — a measurement-sufficient snapshot of a
+  :class:`ScenarioResult`: everything the table/figure experiments read
+  (records, truth maps, community accounts, accounting totals, WAN
+  transfers) without the live :class:`~repro.sim.Simulator` object graph,
+  so one worker's simulation can be serialized once and fanned out to the
+  rest of a sweep.
 """
 
 from __future__ import annotations
@@ -30,7 +42,24 @@ from repro.users.population import Population, PopulationSpec, build_population
 from repro.users.profiles import BehaviorProfile
 from repro.workloads.scenarios import SiteSpec, federation_specs
 
-__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "CAMPAIGN_DAYS",
+    "CAMPAIGN_POPULATION_SCALE",
+    "CAMPAIGN_SCALE",
+    "CAMPAIGN_SEED",
+    "CampaignArtifact",
+    "CampaignKey",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "TransferSummary",
+    "run_scenario",
+]
+
+#: The canonical campaign most table experiments share (DESIGN.md §4).
+CAMPAIGN_DAYS = 90.0
+CAMPAIGN_SEED = 1
+CAMPAIGN_SCALE = "small"
+CAMPAIGN_POPULATION_SCALE = 0.05
 
 
 @dataclass(frozen=True)
@@ -236,3 +265,176 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         context=ctx,
         injectors=injectors,
     )
+
+
+@dataclass(frozen=True)
+class CampaignKey:
+    """Canonical identity of one shared campaign.
+
+    Construct through :meth:`make`, which coerces every field to its
+    canonical type — ``days=90`` (int) and ``days=90.0`` (float) historically
+    produced *distinct* memo entries and therefore duplicate simulations;
+    canonicalization collapses them.  The field set is exactly the knob set
+    of :func:`repro.experiments.base.campaign`, and :meth:`config` expands a
+    key back into the :class:`ScenarioConfig` that function builds, so a key
+    alone is sufficient to (re)simulate its campaign bit-for-bit.
+    """
+
+    days: float
+    seed: int
+    scale: str
+    population_scale: float
+    gateway_tagging_coverage: float
+    gateway_adoption_ramp_days: float
+
+    @classmethod
+    def make(
+        cls,
+        days: float = CAMPAIGN_DAYS,
+        seed: int = CAMPAIGN_SEED,
+        scale: str = CAMPAIGN_SCALE,
+        population_scale: float = CAMPAIGN_POPULATION_SCALE,
+        gateway_tagging_coverage: float = 1.0,
+        gateway_adoption_ramp_days: float = 0.0,
+    ) -> "CampaignKey":
+        return cls(
+            days=float(days),
+            seed=int(seed),
+            scale=str(scale),
+            population_scale=float(population_scale),
+            gateway_tagging_coverage=float(gateway_tagging_coverage),
+            gateway_adoption_ramp_days=float(gateway_adoption_ramp_days),
+        )
+
+    def asdict(self) -> dict:
+        return {
+            "days": self.days,
+            "seed": self.seed,
+            "scale": self.scale,
+            "population_scale": self.population_scale,
+            "gateway_tagging_coverage": self.gateway_tagging_coverage,
+            "gateway_adoption_ramp_days": self.gateway_adoption_ramp_days,
+        }
+
+    def config(self) -> ScenarioConfig:
+        return ScenarioConfig(
+            scale=self.scale,
+            days=self.days,
+            seed=self.seed,
+            population=PopulationSpec(scale=self.population_scale),
+            gateway_tagging_coverage=self.gateway_tagging_coverage,
+            gateway_adoption_ramp_days=self.gateway_adoption_ramp_days,
+        )
+
+
+@dataclass(frozen=True)
+class TransferSummary:
+    """The analysis-facing slice of one completed :class:`~repro.infra.network.Transfer`."""
+
+    src: str
+    dst: str
+    size_bytes: float
+    tag: Optional[str]
+    duration: Optional[float]
+
+
+class _CentralView:
+    """Accounting-DB stand-in backed by extracted data (read-only)."""
+
+    def __init__(self, records: list[UsageRecord], total_nu: float) -> None:
+        self._records = records
+        self._total_nu = total_nu
+
+    def all_records(self) -> list[UsageRecord]:
+        return list(self._records)
+
+    def total_nu(self) -> float:
+        return self._total_nu
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class _NetworkView:
+    """Network stand-in exposing only the completed-transfer log."""
+
+    def __init__(self, transfers: tuple[TransferSummary, ...]) -> None:
+        self._transfers = transfers
+
+    @property
+    def completed_transfers(self) -> tuple[TransferSummary, ...]:
+        return self._transfers
+
+
+@dataclass
+class CampaignArtifact:
+    """A measurement-sufficient snapshot of one campaign's results.
+
+    Duck-types the slice of :class:`ScenarioResult` the campaign-reading
+    experiments consume — ``records``, the truth maps, ``community_accounts``,
+    ``central.total_nu()`` and ``network.completed_transfers`` — while
+    containing only plain picklable data (no simulator, no providers, no
+    event queues).  :meth:`from_result` extracts one from a live result; the
+    round-trip fidelity contract (every measurement taken from the artifact
+    equals the one taken live) is enforced by the test suite, because the
+    byte-identity of store-enabled sweeps rests on it.
+    """
+
+    key: Optional[CampaignKey]
+    records: list[UsageRecord]
+    job_truth: dict[int, Modality]
+    identity_truth: dict[str, Modality]
+    active_identities: frozenset[str]
+    community_accounts: frozenset[str]
+    total_nu: float
+    transfers: tuple[TransferSummary, ...]
+
+    @classmethod
+    def from_result(
+        cls, result: ScenarioResult, key: Optional[CampaignKey] = None
+    ) -> "CampaignArtifact":
+        return cls(
+            key=key,
+            records=result.records,
+            job_truth=result.truth_by_job(),
+            identity_truth=dict(result.truth_by_identity()),
+            active_identities=frozenset(result.active_truth_by_identity()),
+            community_accounts=frozenset(result.community_accounts),
+            total_nu=result.central.total_nu(),
+            transfers=tuple(
+                TransferSummary(
+                    src=t.src,
+                    dst=t.dst,
+                    size_bytes=t.size_bytes,
+                    tag=t.tag,
+                    duration=t.duration,
+                )
+                for t in result.network.completed_transfers
+            ),
+        )
+
+    # -- the ScenarioResult measurement surface ------------------------------
+    @property
+    def central(self) -> _CentralView:
+        return _CentralView(self.records, self.total_nu)
+
+    @property
+    def network(self) -> _NetworkView:
+        return _NetworkView(self.transfers)
+
+    @property
+    def config(self) -> Optional[ScenarioConfig]:
+        return self.key.config() if self.key is not None else None
+
+    def truth_by_job(self) -> dict[int, Modality]:
+        return dict(self.job_truth)
+
+    def truth_by_identity(self) -> dict[str, Modality]:
+        return dict(self.identity_truth)
+
+    def active_truth_by_identity(self) -> dict[str, Modality]:
+        return {
+            identity: modality
+            for identity, modality in self.identity_truth.items()
+            if identity in self.active_identities
+        }

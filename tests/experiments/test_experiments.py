@@ -35,6 +35,14 @@ def test_campaign_cache_returns_same_object():
     assert c is not a
 
 
+def test_campaign_cache_key_is_spelling_insensitive():
+    # Regression: days=6 (int) and days=6.0 (float) used to be distinct memo
+    # keys, silently doubling the simulation cost of a mixed-caller suite.
+    a = campaign(days=6, seed=79, population_scale=0.02)
+    b = campaign(days=6.0, seed=79.0, population_scale=0.02)
+    assert a is b
+
+
 @pytest.fixture(scope="module")
 def fast_knobs():
     return dict(days=10.0, seed=2, population_scale=0.03)

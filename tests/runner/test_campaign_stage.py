@@ -1,0 +1,213 @@
+"""Tests for the runner's two-stage DAG: campaign stage + measurement stage.
+
+The acceptance contract: with an artifact store attached, a sweep simulates
+each distinct campaign key exactly once (asserted via the dedup counters)
+and its merged outputs are byte-identical to a store-disabled serial run —
+including when artifacts already exist (resume) and when the chaos harness
+corrupts them (quarantine -> live fallback).
+"""
+
+import pytest
+
+from repro.experiments.base import (
+    CAMPAIGN_STAGE_ID,
+    _campaign_cache,
+    campaign_key,
+    campaign_plans,
+    plan_tasks,
+    task_campaign_keys,
+)
+from repro.runner import ArtifactStore, ParallelRunner, ResultCache
+
+
+@pytest.fixture(autouse=True)
+def fresh_campaign_memo():
+    """Isolate the process-global campaign memo.
+
+    The dedup counters distinguish "simulated" from "served by the memo";
+    leftovers from other tests (inherited by fork-started workers too)
+    would make those counts nondeterministic.
+    """
+    saved = dict(_campaign_cache)
+    _campaign_cache.clear()
+    yield
+    _campaign_cache.clear()
+    _campaign_cache.update(saved)
+
+#: T1/T2/T3 at one horizon: twelve measurement tasks, ONE distinct campaign.
+_SHARED = [("T1", {"days": 12.0}), ("T2", {"days": 12.0}), ("T3", {"days": 12.0})]
+
+
+def _texts(outputs):
+    return [(o.experiment_id, o.title, o.text, repr(o.data)) for o in outputs]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Store-off serial outputs: the byte-identity baseline."""
+    runner = ParallelRunner(jobs=1, use_cache=False)
+    return _texts(runner.run_many(_SHARED))
+
+
+# -- campaign dependency declarations ------------------------------------------
+
+def test_every_campaign_reader_declares_its_campaigns():
+    for experiment_id in ("T1", "T5", "F1", "F6", "R1"):
+        assert experiment_id in campaign_plans
+
+
+def test_shared_horizon_collapses_to_one_key():
+    keys = set()
+    for experiment_id, knobs in _SHARED:
+        for task in plan_tasks(experiment_id, **knobs):
+            keys.update(task_campaign_keys(task))
+    assert len(keys) == 1
+
+
+def test_int_and_float_spellings_share_a_key():
+    (int_key,) = task_campaign_keys(plan_tasks("T1", days=12)[0])
+    (float_key,) = task_campaign_keys(plan_tasks("T1", days=12.0)[0])
+    assert int_key == float_key
+
+
+def test_f6_declares_one_campaign_per_coverage():
+    tasks = plan_tasks("F6", days=4.0, coverages=(0.0, 1.0))
+    keys = [task_campaign_keys(task) for task in tasks]
+    assert all(len(k) == 1 for k in keys)
+    assert keys[0] != keys[1]
+
+
+def test_r1_declares_one_campaign_per_seed():
+    tasks = plan_tasks("R1", days=4.0, seeds=(1, 2))
+    assert task_campaign_keys(tasks[0])[0].seed == 1
+    assert task_campaign_keys(tasks[1])[0].seed == 2
+
+
+# -- dedup + byte-identity (the acceptance tests) ------------------------------
+
+def test_serial_store_simulates_each_key_once(tmp_path, reference):
+    runner = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=tmp_path)
+    )
+    outputs = runner.run_many(_SHARED)
+    assert runner.campaign_stats["distinct"] == 1
+    assert runner.campaign_stats["simulated"] == 1
+    assert runner.campaign_stats["fallbacks"] == 0
+    assert runner.campaign_failures == []
+    assert _texts(outputs) == reference
+
+
+def test_parallel_store_simulates_each_key_once(tmp_path, reference):
+    runner = ParallelRunner(
+        jobs=2, use_cache=False, artifacts=ArtifactStore(root=tmp_path)
+    )
+    outputs = runner.run_many(_SHARED)
+    assert runner.campaign_stats["distinct"] == 1
+    assert runner.campaign_stats["simulated"] == 1
+    assert runner.campaign_stats["fallbacks"] == 0
+    assert runner.campaign_stats["loads"] >= 1  # measured from the artifact
+    assert _texts(outputs) == reference
+
+
+def test_existing_artifacts_are_reused_not_resimulated(tmp_path, reference):
+    store_dir = tmp_path / "store"
+    first = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=store_dir)
+    )
+    first.run_many(_SHARED)
+
+    second = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=store_dir)
+    )
+    outputs = second.run_many(_SHARED)
+    assert second.campaign_stats["simulated"] == 0
+    assert second.campaign_stats["reused"] == 1
+    assert _texts(outputs) == reference
+
+
+def test_partial_store_resumes_mid_campaign_stage(tmp_path):
+    """A run killed mid-stage leaves some artifacts; the next run completes
+    only the missing ones (that is resume for stage 1)."""
+    store_dir = tmp_path / "store"
+    warmup = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=store_dir)
+    )
+    warmup.run_many([("R1", {"days": 4.0, "seeds": (1,)})])
+    assert warmup.campaign_stats["simulated"] == 1
+
+    resumed = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=store_dir)
+    )
+    resumed.run_many([("R1", {"days": 4.0, "seeds": (1, 2, 3)})])
+    assert resumed.campaign_stats["distinct"] == 3
+    assert resumed.campaign_stats["reused"] == 1
+    assert resumed.campaign_stats["simulated"] == 2
+
+
+def test_stage_timings_are_recorded(tmp_path):
+    runner = ParallelRunner(
+        jobs=1, use_cache=False, artifacts=ArtifactStore(root=tmp_path)
+    )
+    runner.run_many([("T1", {"days": 8.0})])
+    assert set(runner.stage_seconds) == {"plan", "campaign", "measure"}
+    assert runner.stage_seconds["campaign"] > 0
+
+
+def test_no_store_means_no_campaign_stage():
+    runner = ParallelRunner(jobs=1, use_cache=False)
+    runner.run_many([("T1", {"days": 8.0})])
+    assert "campaign" not in runner.stage_seconds
+    assert runner.campaign_stats["distinct"] == 0
+
+
+# -- store + result cache interaction ------------------------------------------
+
+def test_campaign_tasks_never_enter_the_result_cache(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    runner = ParallelRunner(
+        jobs=1, cache=cache, artifacts=ArtifactStore(root=tmp_path / "store")
+    )
+    runner.run_many([("R1", {"days": 4.0, "seeds": (1, 2)})])
+    # Exactly the two measurement tasks were cached; the campaign
+    # pseudo-tasks persist through the artifact store instead.
+    assert len(cache.entries()) == 2
+    hit, _ = cache.get(
+        CAMPAIGN_STAGE_ID,
+        {CAMPAIGN_STAGE_ID: campaign_key(days=4.0, seed=1).asdict()},
+        1,
+    )
+    assert not hit
+
+
+def test_cached_measurements_skip_the_campaign_stage_entirely(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    store = ArtifactStore(root=tmp_path / "store")
+    ParallelRunner(jobs=1, cache=cache, artifacts=store).run_many(
+        [("T1", {"days": 8.0})]
+    )
+    rerun = ParallelRunner(
+        jobs=1, cache=ResultCache(root=tmp_path / "cache"),
+        artifacts=ArtifactStore(root=tmp_path / "store"),
+    )
+    rerun.run_many([("T1", {"days": 8.0})])
+    # All measurements came from the result cache: nothing was pending, so
+    # no campaign stage ran at all.
+    assert rerun.campaign_stats["distinct"] == 0
+    assert "campaign" not in rerun.stage_seconds
+
+
+# -- chaos: artifact corruption must not change bytes --------------------------
+
+def test_corrupted_artifacts_fall_back_to_live_simulation(
+    tmp_path, monkeypatch, reference
+):
+    monkeypatch.setenv("REPRO_CHAOS", "corrupt:1.0")
+    runner = ParallelRunner(
+        jobs=2, use_cache=False, artifacts=ArtifactStore(root=tmp_path)
+    )
+    outputs = runner.run_many(_SHARED)
+    # Every artifact write was corrupted: stage 2 quarantines on load and
+    # re-simulates live in the worker — slower, byte-identical.
+    assert _texts(outputs) == reference
+    assert runner.campaign_stats["fallbacks"] >= 1
+    assert runner.failures == []

@@ -231,3 +231,73 @@ def test_cache_info_and_clear(tmp_path, capsys):
 
     assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
     assert "entries:      0" in capsys.readouterr().out
+
+
+# -- campaign artifact store: stats / gc / --timings / --no-artifacts ----------
+
+def test_run_all_populates_the_artifact_store(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    capsys.readouterr()
+    artifacts = tmp_path / "cache" / "artifacts"
+    assert artifacts.is_dir()
+    assert list(artifacts.glob("*/*.pkl"))  # one per distinct campaign
+
+
+def test_no_artifacts_flag_disables_the_store_same_bytes(tmp_path, capsys):
+    code, with_store = _run_all(tmp_path, "with.txt", "--jobs", "1")
+    assert code == 0
+    code, without = _run_all(
+        tmp_path, "without.txt", "--jobs", "1", "--no-cache", "--no-artifacts"
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert with_store.read_bytes() == without.read_bytes()
+
+
+def test_timings_flag_prints_stage_and_campaign_counters(tmp_path, capsys):
+    from repro.experiments.base import _campaign_cache
+
+    _campaign_cache.clear()  # deterministic "simulated" count in one process
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1", "--timings")
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[timings:" in err and "campaign:" in err
+    assert "[campaigns: 3 distinct, 3 simulated" in err  # R1 fast = 3 seeds
+    assert "0 fallback simulations" in err
+
+
+def test_cache_stats_reports_artifacts(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "artifact dir:" in out
+    assert "artifacts:    3 (3 current code version)" in out
+    assert "artifact size:" in out and "0 bytes" not in out.split("artifact size:")[1]
+
+
+def test_cache_gc_prunes_stale_code_versions(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    stale = tmp_path / "cache" / "artifacts" / "0123456789abcdef"
+    stale.mkdir()
+    (stale / "feedface-s1.pkl").write_bytes(b"old")
+    capsys.readouterr()
+
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "pruned 1 stale artifact(s)" in capsys.readouterr().out
+    assert not stale.exists()
+
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+    assert "artifacts:    3 (3 current code version)" in capsys.readouterr().out
+
+
+def test_run_command_accepts_timings_flag(tmp_path, capsys):
+    assert main(["run", "r1", "--days", "1", "--timings",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    captured = capsys.readouterr()
+    assert "R1" in captured.out
+    assert "[timings:" in captured.err
+    assert "[campaigns:" in captured.err
