@@ -185,6 +185,37 @@ def main(argv: list[str] | None = None) -> int:
                             help="override the master seed")
     _add_parallel_flags(run_parser)
 
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="run random federation scenarios against the invariant oracle",
+    )
+    fuzz_parser.add_argument("--budget", type=int, default=50, metavar="N",
+                             help="scenarios to draw and simulate (default: 50)")
+    fuzz_parser.add_argument("--seed", type=int, default=0, metavar="S",
+                             help="fuzzing seed; the whole run — and any "
+                                  "failure — replays from it (default: 0)")
+    fuzz_parser.add_argument("--max-days", type=float, default=6.0,
+                             metavar="D",
+                             help="longest simulated horizon per scenario "
+                                  "(default: 6)")
+
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="list or run the shipped federation-scenario library",
+    )
+    scenario_parser.add_argument(
+        "action", choices=["list", "run"],
+        help="list: show library entries; run: simulate one and print its "
+             "oracle report",
+    )
+    scenario_parser.add_argument("name", nargs="?", default=None,
+                                 help="library entry (for run), or a path to "
+                                      "a scenario YAML document")
+    scenario_parser.add_argument("--days", type=float, default=None,
+                                 help="override the program's horizon")
+    scenario_parser.add_argument("--seed", type=int, default=None,
+                                 help="override the program's seed")
+
     cache_parser = sub.add_parser(
         "cache",
         help="inspect or clear the result cache and campaign artifact store",
@@ -208,6 +239,69 @@ def main(argv: list[str] | None = None) -> int:
 
         print(taxonomy_table())
         return 0
+
+    if args.command == "fuzz":
+        try:
+            from repro.scenarios.fuzz import run_fuzz
+        except ImportError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        try:
+            outcome = run_fuzz(
+                budget=args.budget,
+                seed=args.seed,
+                max_days=args.max_days,
+                out=sys.stdout,
+            )
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        return 0 if outcome.ok else 1
+
+    if args.command == "scenario":
+        from repro.scenarios import SCENARIO_LIBRARY, check_scenario, load_program
+        from repro.workloads.synthetic import run_scenario
+
+        if args.action == "list":
+            for name in sorted(SCENARIO_LIBRARY):
+                program = SCENARIO_LIBRARY[name]()
+                print(f"{name:28s} days={program.days:<5g} seed={program.seed:<4d} "
+                      f"{program.description}")
+            return 0
+        if args.name is None:
+            print("scenario run needs a library name or a YAML path "
+                  "(see: repro scenario list)", file=sys.stderr)
+            return 2
+        try:
+            if args.name in SCENARIO_LIBRARY:
+                program = SCENARIO_LIBRARY[args.name]()
+            else:
+                program = load_program(args.name)
+        except FileNotFoundError:
+            print(f"unknown scenario {args.name!r}: not a library entry "
+                  f"(repro scenario list) and no such file", file=sys.stderr)
+            return 2
+        except (ValueError, ImportError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        config = program.compile(seed=args.seed, days=args.days)
+        print(f"scenario: {program.name}")
+        if program.description:
+            print(f"  {program.description}")
+        print(f"  days={config.days:g} seed={config.seed} "
+              f"sites={len(config.sites) if config.sites else config.scale}")
+        result = run_scenario(config)
+        report = check_scenario(result)
+        print(f"  records={len(result.records)} "
+              f"nu={result.central.total_nu():.1f} "
+              f"outages={sum(len(i.outages) for i in result.injectors)}")
+        print("invariants:")
+        for line in report.summary().splitlines():
+            print(f"  {line}")
+        if not report.ok:
+            for violation in report.violations:
+                print(f"  !! {violation}")
+        return 0 if report.ok else 1
 
     if args.command == "cache":
         from repro.runner import ArtifactStore, ResultCache

@@ -89,6 +89,21 @@ class Classification:
     def n_identities(self) -> int:
         return len(self.identity_primary)
 
+    def coverage(self, records: Iterable[UsageRecord]) -> tuple[int, int]:
+        """(labeled, total) over ``records`` — the oracle's totals hook.
+
+        A sane classification labels every record it was shown exactly once:
+        ``labeled == total``.  Anything else means records were dropped or
+        invented somewhere between accounting and classification.
+        """
+        total = 0
+        labeled = 0
+        for record in records:
+            total += 1
+            if record.job_id in self.job_labels:
+                labeled += 1
+        return labeled, total
+
 
 def _split_residual(view: IdentityView, residual: list[UsageRecord],
                     config: ClassifierConfig) -> Modality:

@@ -142,6 +142,10 @@ class CentralAccountingDB:
             key=lambda r: (r.submit_time, r.job_id),
         )
 
+    def job_ids(self) -> frozenset[int]:
+        """Every job id recorded — the oracle's no-double-charge hook."""
+        return frozenset(self._job_ids)
+
     def users(self) -> list[str]:
         return sorted(self._by_user)
 

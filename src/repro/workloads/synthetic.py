@@ -90,6 +90,41 @@ class ScenarioConfig:
     #: gateway requests held through a backend outage (0 = shed them all)
     gateway_backlog: int = 0
 
+    def __post_init__(self) -> None:
+        # Fail at construction with a nameable knob, not downstream with a
+        # zero-length run, a silent no-tagging campaign, or a ValueError
+        # deep inside the gateway layer.
+        if not self.days > 0:
+            raise ValueError(f"days must be positive, got {self.days}")
+        if not (0.0 <= self.gateway_tagging_coverage <= 1.0):
+            raise ValueError(
+                "gateway_tagging_coverage must be in [0, 1], "
+                f"got {self.gateway_tagging_coverage}"
+            )
+        if self.gateway_backlog < 0:
+            raise ValueError(
+                f"gateway_backlog must be >= 0, got {self.gateway_backlog}"
+            )
+        if self.gateway_adoption_ramp_days < 0:
+            raise ValueError(
+                "gateway_adoption_ramp_days must be >= 0, "
+                f"got {self.gateway_adoption_ramp_days}"
+            )
+        if self.amie_interval <= 0:
+            raise ValueError(
+                f"amie_interval must be positive, got {self.amie_interval}"
+            )
+        if self.info_publish_interval <= 0:
+            raise ValueError(
+                "info_publish_interval must be positive, "
+                f"got {self.info_publish_interval}"
+            )
+        if self.outage_propagation_lag < 0:
+            raise ValueError(
+                "outage_propagation_lag must be >= 0, "
+                f"got {self.outage_propagation_lag}"
+            )
+
     @property
     def horizon(self) -> float:
         return self.days * DAY

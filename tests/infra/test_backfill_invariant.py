@@ -14,6 +14,7 @@ from repro.infra.cluster import Cluster
 from repro.infra.job import Job
 from repro.infra.scheduler import EasyBackfillScheduler
 from repro.sim import Simulator
+from tests.strategies import job_specs
 
 
 class ShadowRecordingScheduler(EasyBackfillScheduler):
@@ -31,16 +32,7 @@ class ShadowRecordingScheduler(EasyBackfillScheduler):
 
 @settings(max_examples=40, deadline=None)
 @given(
-    st.lists(
-        st.tuples(
-            st.integers(min_value=1, max_value=8),  # cores
-            st.integers(min_value=1, max_value=120),  # walltime
-            st.floats(min_value=0.05, max_value=1.0),  # runtime fraction
-            st.integers(min_value=0, max_value=50),  # arrival offset
-        ),
-        min_size=3,
-        max_size=30,
-    ),
+    job_specs(min_size=3, max_size=30, max_walltime=120, max_offset=50),
     st.booleans(),
 )
 def test_head_never_starts_after_its_first_shadow(specs, sticky):

@@ -1,0 +1,153 @@
+"""Direct coverage of gateway outage degradation: shed and backlog-drain.
+
+A4 exercises these paths only through a whole resilience campaign; these
+tests pin them at the unit level — ``max_backlog=0`` sheds every request
+during an outage, a positive backlog holds requests and drains them FIFO on
+recovery, overflow sheds, and a multi-site backlog keeps other sites'
+requests queued while one site recovers.
+"""
+
+import numpy as np
+
+import repro.infra as I
+from repro.infra.units import HOUR
+from repro.sim import Simulator
+
+
+def make_sites(n=1):
+    sim = Simulator()
+    ledger = I.AllocationLedger()
+    ledger.create(
+        "community", I.AllocationType.COMMUNITY, 1e9, users={"gw_portal"}
+    )
+    central = I.CentralAccountingDB()
+    sites = [
+        I.ResourceProvider(
+            sim,
+            I.Cluster(f"mach{i}", nodes=8, cores_per_node=4),
+            ledger,
+            central,
+        )
+        for i in range(n)
+    ]
+    return sim, sites, central
+
+
+def gateway(sim, max_backlog, seed=0):
+    return I.ScienceGateway(
+        name="nanoportal",
+        community_user="gw_portal",
+        community_account="community",
+        rng=np.random.default_rng(seed),
+        sim=sim,
+        max_backlog=max_backlog,
+    )
+
+
+def request(gw, site, user="enduser-1"):
+    return gw.request(site, user, cores=1, walltime=HOUR, true_runtime=60.0)
+
+
+def test_zero_backlog_sheds_everything_during_outage():
+    sim, (site,), central = make_sites()
+    gw = gateway(sim, max_backlog=0)
+    site.mark_down()
+    for i in range(5):
+        job, status = request(gw, site, user=f"u{i}")
+        assert job is None
+        assert status == "shed"
+    assert gw.requests_shed == 5
+    assert gw.requests_queued == 0
+    assert not gw.backlog
+    # Shed clicks are gone for good: recovery submits nothing.
+    site.mark_up()
+    sim.run(until=4 * HOUR)
+    assert gw.jobs_submitted == 0
+    assert gw.backlog_submitted == 0
+    assert len(central) == 0
+
+
+def test_no_simulator_sheds_even_with_backlog_capacity():
+    sim, (site,), _central = make_sites()
+    gw = I.ScienceGateway(
+        name="nanoportal",
+        community_user="gw_portal",
+        community_account="community",
+        rng=np.random.default_rng(0),
+        sim=None,
+        max_backlog=10,
+    )
+    site.mark_down()
+    job, status = request(gw, site)
+    assert (job, status) == (None, "shed")
+    assert gw.requests_shed == 1
+
+
+def test_backlog_queues_and_drains_fifo_on_recovery():
+    sim, (site,), central = make_sites()
+    gw = gateway(sim, max_backlog=8)
+
+    def driver(sim):
+        # Healthy submission first, then an outage with queued clicks.
+        job, status = request(gw, site, user="u-before")
+        assert status == "submitted"
+        site.mark_down()
+        for i in range(3):
+            job, status = request(gw, site, user=f"u-queued-{i}")
+            assert (job, status) == (None, "queued")
+        assert gw.requests_queued == 3
+        assert len(gw.backlog) == 3
+        yield sim.timeout(2 * HOUR)
+        site.mark_up()
+
+    sim.process(driver(sim))
+    sim.run(until=12 * HOUR)
+    for provider in (site,):
+        provider.feed.drain()
+    # Everything queued was submitted on recovery, in arrival order.
+    assert gw.backlog_submitted == 3
+    assert not gw.backlog
+    assert gw.jobs_submitted == 4
+    assert gw.end_users_served == {"u-before", "u-queued-0",
+                                   "u-queued-1", "u-queued-2"}
+    queued_records = sorted(
+        (r for r in central.all_records()
+         if r.attributes.get("gateway_user", "").startswith("u-queued")),
+        key=lambda r: r.submit_time,
+    )
+    assert [r.attributes["gateway_user"] for r in queued_records] == [
+        "u-queued-0", "u-queued-1", "u-queued-2",
+    ]
+
+
+def test_full_backlog_overflow_sheds():
+    sim, (site,), _central = make_sites()
+    gw = gateway(sim, max_backlog=2)
+    site.mark_down()
+    statuses = [request(gw, site, user=f"u{i}")[1] for i in range(4)]
+    assert statuses == ["queued", "queued", "shed", "shed"]
+    assert gw.requests_queued == 2
+    assert gw.requests_shed == 2
+    assert len(gw.backlog) == 2
+
+
+def test_drain_keeps_other_sites_requests_queued():
+    sim, (alpha, beta), _central = make_sites(n=2)
+    gw = gateway(sim, max_backlog=8)
+
+    def driver(sim):
+        alpha.mark_down()
+        beta.mark_down()
+        request(gw, alpha, user="u-alpha")
+        request(gw, beta, user="u-beta")
+        assert len(gw.backlog) == 2
+        yield sim.timeout(HOUR)
+        alpha.mark_up()  # beta stays down
+
+    sim.process(driver(sim))
+    sim.run(until=6 * HOUR)
+    # Alpha's request drained; beta's kept its place in the backlog.
+    assert gw.backlog_submitted == 1
+    assert len(gw.backlog) == 1
+    assert gw.backlog[0][0] is beta
+    assert gw.end_users_served == {"u-alpha"}

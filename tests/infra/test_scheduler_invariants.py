@@ -23,17 +23,9 @@ from repro.infra.scheduler import (
 )
 from repro.infra.units import DAY, HOUR
 from repro.sim import Simulator
+from tests.strategies import job_specs
 
-_job_specs = st.lists(
-    st.tuples(
-        st.integers(min_value=1, max_value=8),  # cores
-        st.integers(min_value=1, max_value=200),  # walltime
-        st.floats(min_value=0.05, max_value=1.0),  # runtime fraction
-        st.integers(min_value=0, max_value=100),  # arrival offset
-    ),
-    min_size=2,
-    max_size=25,
-)
+_job_specs = job_specs(max_walltime=200, max_offset=100)
 
 
 def _submit_workload(sim, scheduler, specs, user="u"):

@@ -14,6 +14,7 @@ from repro.infra.scheduler import (
 )
 from repro.infra.units import DAY, HOUR, WEEK
 from repro.sim import Simulator
+from tests.strategies import job_specs
 
 
 def make_rig(policy, nodes=4, cores_per_node=1, **kwargs):
@@ -386,15 +387,8 @@ def test_drain_validation():
 
 @settings(max_examples=40, deadline=None)
 @given(
-    st.lists(
-        st.tuples(
-            st.integers(min_value=1, max_value=8),  # cores
-            st.integers(min_value=1, max_value=100),  # walltime
-            st.integers(min_value=0, max_value=60),  # arrival offset
-        ),
-        min_size=1,
-        max_size=25,
-    ),
+    job_specs(min_size=1, max_size=25, max_walltime=100, max_offset=60,
+              with_fraction=False),
     st.sampled_from([FcfsScheduler, EasyBackfillScheduler, FairshareScheduler]),
 )
 def test_policies_complete_all_jobs_within_capacity(specs, policy):

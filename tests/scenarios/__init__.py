@@ -1,0 +1,1 @@
+"""Tests for the scenario DSL, library, oracle and fuzzing harness."""

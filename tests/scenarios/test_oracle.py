@@ -1,0 +1,163 @@
+"""The invariant oracle: green on honest runs, loud on doctored ones.
+
+Each doctoring test takes a clean scenario result, corrupts one piece of
+state the way a real accounting bug would (a double-shipped AMIE record, a
+tampered charge, a drifted kill counter), and asserts the *specific*
+invariant trips — so a regression that blinds one check cannot hide behind
+the others staying green.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.modalities import Modality
+from repro.scenarios import (
+    FederationDef,
+    ModalityMix,
+    OracleReport,
+    OutageRegime,
+    ScenarioProgram,
+    Violation,
+    check_scenario,
+)
+from repro.workloads import SiteSpec, run_scenario
+
+FIXTURE = ScenarioProgram(
+    name="oracle-fixture",
+    days=2.0,
+    seed=7,
+    federation=FederationDef(
+        preset=None,
+        sites=(
+            SiteSpec("alpha", 8, 4, 1.0, 1.0e9),
+            SiteSpec("beta", 6, 4, 1.2, 6.25e8),
+        ),
+    ),
+    mix=ModalityMix(
+        total_users=10,
+        weights={Modality.BATCH: 2.0, Modality.EXPLORATORY: 1.0,
+                 Modality.GATEWAY: 1.0},
+    ),
+    outages=OutageRegime(
+        site_mtbf_days=0.5,
+        repair_median_hours=1.0,
+        repair_min_hours=0.25,
+        repair_max_hours=4.0,
+    ),
+    scheduler="fcfs",
+)
+
+
+@pytest.fixture
+def result():
+    return run_scenario(FIXTURE.compile())
+
+
+def failed(report):
+    return {name for name, ok in report.checks.items() if not ok}
+
+
+def doctor_record(result, index, **changes):
+    """Swap one stored record for a corrupted copy (records are frozen)."""
+    records = result.central._records
+    records[index] = dataclasses.replace(records[index], **changes)
+    return records[index]
+
+
+def test_clean_run_is_green(result):
+    assert result.records, "fixture must produce usage records"
+    report = check_scenario(result)
+    assert report.ok
+    assert failed(report) == set()
+    # Every invariant family actually ran.
+    assert {c.split(".")[0] for c in report.checks} == {
+        "conservation", "double_charge", "records", "classifier", "lost_work",
+    }
+
+
+def test_duplicate_record_trips_unique_jobs(result):
+    result.central._records.append(result.records[0])
+    report = check_scenario(result)
+    assert "double_charge.unique_jobs" in failed(report)
+
+
+def test_tampered_charge_trips_conservation(result):
+    doctor_record(result, 0, charged_nu=result.records[0].charged_nu + 1e6)
+    report = check_scenario(result)
+    bad = failed(report)
+    assert "conservation.ledger_vs_central" in bad
+    assert "double_charge.nominal_bound" in bad
+
+
+def test_negative_charge_trips_nominal_bound(result):
+    doctor_record(result, 0, charged_nu=-1.0)
+    report = check_scenario(result)
+    assert "double_charge.nominal_bound" in failed(report)
+
+
+def test_unknown_resource_trips_known_resource(result):
+    doctor_record(result, 0, resource="phantom-machine")
+    report = check_scenario(result)
+    assert "double_charge.known_resource" in failed(report)
+
+
+def test_reversed_timestamps_trip_ordering(result):
+    record = result.central._records[0]
+    doctor_record(result, 0, end_time=record.submit_time - 10.0)
+    report = check_scenario(result)
+    assert "records.timestamps_ordered" in failed(report)
+
+
+def test_zero_cores_trips_positive_cores(result):
+    doctor_record(result, 0, cores=0)
+    report = check_scenario(result)
+    assert "records.positive_cores" in failed(report)
+
+
+def test_unknown_account_trips_known_account(result):
+    doctor_record(result, 0, account="slush-fund")
+    report = check_scenario(result)
+    assert "records.known_account" in failed(report)
+
+
+def test_drifted_injector_counter_trips_consistency(result):
+    assert result.injectors, "outage fixture must install injectors"
+    result.injectors[0].jobs_killed += 1
+    report = check_scenario(result)
+    assert "lost_work.counter_consistent" in failed(report)
+
+
+def test_drifted_site_counter_trips_site_counter(result):
+    result.providers[0].jobs_lost_to_outages += 1
+    report = check_scenario(result)
+    assert "lost_work.site_counter" in failed(report)
+
+
+def test_undrained_feed_trips_conservation(result):
+    # Emulate a record stuck in a site's AMIE buffer past the final drain.
+    provider = result.providers[0]
+    provider.feed.publish(result.records[0])
+    report = check_scenario(result)
+    assert "conservation.feed_drained" in failed(report)
+
+
+# ---------------------------------------------------------------- report unit
+
+
+def test_report_and_combines_repeat_records():
+    report = OracleReport()
+    report.record("inv.a", True)
+    report.record("inv.a", False, "broke on job 7")
+    report.record("inv.a", True)  # a later success must not mask the failure
+    assert report.checks["inv.a"] is False
+    assert not report.ok
+    assert [str(v) for v in report.violations] == ["inv.a: broke on job 7"]
+
+
+def test_report_summary_format():
+    report = OracleReport()
+    report.record("b.second", True)
+    report.record("a.first", False, "why")
+    assert report.summary() == "FAIL a.first\nok   b.second"
+    assert str(Violation("a.first", "why")) == "a.first: why"

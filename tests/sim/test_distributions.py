@@ -18,16 +18,14 @@ from repro.sim.distributions import (
     nonhomogeneous_poisson,
     zipf_weights,
 )
+from tests.strategies import lognormal_medians, lognormal_sigmas
 
 
 def rng():
     return np.random.default_rng(1234)
 
 
-@given(
-    st.floats(min_value=0.1, max_value=1e4),
-    st.floats(min_value=0.0, max_value=3.0),
-)
+@given(lognormal_medians, lognormal_sigmas)
 def test_bounded_lognormal_respects_bounds(median, sigma):
     generator = np.random.default_rng(0)
     low, high = 0.5, 1e5

@@ -1,0 +1,113 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+One home for the generators that several suites used to re-declare
+privately: batch-workload job specs (scheduler invariants, backfill
+acceptance, policy completeness), synthetic usage records (SWF round-trip),
+and the distribution-parameter ranges (sim distributions).  The
+scenario-space strategies live in :mod:`repro.scenarios.strategies` (they
+are shipped, the ``repro fuzz`` CLI needs them) and are re-exported here so
+test code has a single import point.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.infra.accounting import UsageRecord
+from repro.infra.job import JobState
+from repro.scenarios.strategies import (  # noqa: F401  (re-exports)
+    federations,
+    gateway_fleets,
+    modality_mixes,
+    outage_regimes,
+    recovery_suites,
+    scenario_programs,
+    site_specs,
+)
+
+__all__ = [
+    "federations",
+    "gateway_fleets",
+    "job_specs",
+    "lognormal_medians",
+    "lognormal_sigmas",
+    "modality_mixes",
+    "outage_regimes",
+    "recovery_suites",
+    "scenario_programs",
+    "site_specs",
+    "usage_records",
+]
+
+#: Parameter ranges for the bounded-lognormal sampling helpers.
+lognormal_medians = st.floats(min_value=0.1, max_value=1e4)
+lognormal_sigmas = st.floats(min_value=0.0, max_value=3.0)
+
+
+def job_specs(
+    min_size: int = 2,
+    max_size: int = 25,
+    max_cores: int = 8,
+    max_walltime: int = 200,
+    max_offset: int = 100,
+    with_fraction: bool = True,
+):
+    """Lists of batch-job tuples: (cores, walltime[, runtime fraction], offset).
+
+    The common workload generator for scheduler property tests.  With
+    ``with_fraction`` each spec carries the fraction of its walltime the job
+    really runs; without it, specs are (cores, walltime, offset) and the
+    caller decides runtimes.
+    """
+    fields = [
+        st.integers(min_value=1, max_value=max_cores),  # cores
+        st.integers(min_value=1, max_value=max_walltime),  # walltime
+    ]
+    if with_fraction:
+        fields.append(st.floats(min_value=0.05, max_value=1.0))
+    fields.append(st.integers(min_value=0, max_value=max_offset))  # arrival
+    return st.lists(
+        st.tuples(*fields), min_size=min_size, max_size=max_size
+    )
+
+
+@st.composite
+def usage_records(draw) -> UsageRecord:
+    """One plausible accounting record (ran or never-started)."""
+    job_id = draw(st.integers(min_value=1, max_value=10**6))
+    submit = draw(st.integers(min_value=0, max_value=10**6))
+    ran = draw(st.booleans())
+    wait = draw(st.integers(min_value=0, max_value=10**5)) if ran else None
+    elapsed = draw(st.integers(min_value=1, max_value=10**5)) if ran else 0
+    cores = draw(st.integers(min_value=1, max_value=4096))
+    state = draw(
+        st.sampled_from(
+            [JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED]
+        )
+        if ran
+        else st.just(JobState.CANCELLED)
+    )
+    attributes = draw(
+        st.dictionaries(
+            st.sampled_from(["ensemble_id", "workflow_id", "gateway_user"]),
+            st.text(alphabet="abc123", min_size=1, max_size=8),
+            max_size=2,
+        )
+    )
+    start = None if wait is None else float(submit + wait)
+    end = float(submit) if start is None else start + elapsed
+    return UsageRecord(
+        job_id=job_id,
+        user=draw(st.sampled_from(["alice", "bob", "gw_portal"])),
+        account="acct",
+        resource=draw(st.sampled_from(["ranger", "kraken"])),
+        queue_name="normal",
+        cores=cores,
+        requested_walltime=float(elapsed + draw(st.integers(0, 1000))),
+        submit_time=float(submit),
+        start_time=start,
+        end_time=end,
+        final_state=state,
+        charged_nu=cores * elapsed / 3600.0,
+        attributes=attributes,
+    )

@@ -4,50 +4,8 @@ import io
 
 from hypothesis import given, settings, strategies as st
 
-from repro.infra.accounting import UsageRecord
-from repro.infra.job import JobState
 from repro.workloads import records_to_swf, swf_to_records
-
-
-@st.composite
-def usage_records(draw):
-    job_id = draw(st.integers(min_value=1, max_value=10**6))
-    submit = draw(st.integers(min_value=0, max_value=10**6))
-    ran = draw(st.booleans())
-    wait = draw(st.integers(min_value=0, max_value=10**5)) if ran else None
-    elapsed = draw(st.integers(min_value=1, max_value=10**5)) if ran else 0
-    cores = draw(st.integers(min_value=1, max_value=4096))
-    state = draw(
-        st.sampled_from(
-            [JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED]
-        )
-        if ran
-        else st.just(JobState.CANCELLED)
-    )
-    attributes = draw(
-        st.dictionaries(
-            st.sampled_from(["ensemble_id", "workflow_id", "gateway_user"]),
-            st.text(alphabet="abc123", min_size=1, max_size=8),
-            max_size=2,
-        )
-    )
-    start = None if wait is None else float(submit + wait)
-    end = float(submit) if start is None else start + elapsed
-    return UsageRecord(
-        job_id=job_id,
-        user=draw(st.sampled_from(["alice", "bob", "gw_portal"])),
-        account="acct",
-        resource=draw(st.sampled_from(["ranger", "kraken"])),
-        queue_name="normal",
-        cores=cores,
-        requested_walltime=float(elapsed + draw(st.integers(0, 1000))),
-        submit_time=float(submit),
-        start_time=start,
-        end_time=end,
-        final_state=state,
-        charged_nu=cores * elapsed / 3600.0,
-        attributes=attributes,
-    )
+from tests.strategies import usage_records
 
 
 @settings(max_examples=60, deadline=None)
