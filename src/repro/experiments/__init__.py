@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     a2_reservation_style,
     a3_checkpointing,
     a4_resilience,
+    a5_ingest_robustness,
     r1_replicates,
 )
 

@@ -39,13 +39,14 @@ FAST_KNOBS: dict[str, dict] = {
     "A2": {"days": 6.0},
     "A3": {"mtbfs_hours": (500.0, 4000.0)},
     "A4": {"days": 6.0, "mtbf_days": (2.0, 0.75)},
+    "A5": {"days": 4.0, "regimes": ("hostile",)},
     "R1": {"days": 10.0, "seeds": (1, 2, 3)},
 }
 
 _ORDER = [
     "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
     "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-    "A1", "A2", "A3", "A4", "R1",
+    "A1", "A2", "A3", "A4", "A5", "R1",
 ]
 
 

@@ -20,6 +20,16 @@ from repro.infra.job import Job, JobState, SubmissionInterface
 from repro.infra.cluster import Cluster
 from repro.infra.allocations import Allocation, AllocationLedger, AllocationType
 from repro.infra.accounting import CentralAccountingDB, UsageRecord
+from repro.infra.amie import (
+    AmieIngestEndpoint,
+    AmiePacket,
+    FaultyTransport,
+    IngestRecoveryPolicy,
+    PacketFaultRegime,
+    QuarantinedPacket,
+    ReconciliationReport,
+    ResilientAmieFeed,
+)
 from repro.infra.site import ResourceProvider, SiteDownError
 from repro.infra.network import Network, NetworkLink, Transfer
 from repro.infra.storage import DataCollection, StorageSystem
@@ -48,7 +58,15 @@ __all__ = [
     "Allocation",
     "AllocationLedger",
     "AllocationType",
+    "AmieIngestEndpoint",
+    "AmiePacket",
     "CentralAccountingDB",
+    "FaultyTransport",
+    "IngestRecoveryPolicy",
+    "PacketFaultRegime",
+    "QuarantinedPacket",
+    "ReconciliationReport",
+    "ResilientAmieFeed",
     "Cluster",
     "CoAllocator",
     "DataCollection",

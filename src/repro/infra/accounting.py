@@ -106,20 +106,37 @@ class CentralAccountingDB:
         self._by_resource: dict[str, list[UsageRecord]] = {}
         self._by_account: dict[str, list[UsageRecord]] = {}
         self._job_ids: set[int] = set()
+        #: lifetime count of duplicate job ids skipped by :meth:`ingest`
+        self.duplicates_skipped = 0
 
-    def ingest(self, records: Iterable[UsageRecord]) -> int:
-        """Add a batch of records; duplicate job ids are rejected."""
-        added = 0
-        for record in records:
-            if record.job_id in self._job_ids:
-                raise ValueError(f"duplicate usage record for job {record.job_id}")
+    def ingest(self, records: Iterable[UsageRecord]) -> tuple[int, int]:
+        """Add a batch atomically and idempotently.
+
+        Duplicate job ids (within the batch or against prior state) are
+        skipped, not raised: a replayed AMIE packet must be a no-op, and a
+        mid-batch duplicate must never leave the earlier records of its
+        batch half-indexed.  Returns ``(added, duplicates)`` counters.
+        """
+        batch = list(records)
+        fresh: list[UsageRecord] = []
+        batch_ids: set[int] = set()
+        duplicates = 0
+        for record in batch:
+            if record.job_id in self._job_ids or record.job_id in batch_ids:
+                duplicates += 1
+                continue
+            batch_ids.add(record.job_id)
+            fresh.append(record)
+        # All-or-nothing from here: every validation already passed, so the
+        # index updates below cannot partially apply.
+        for record in fresh:
             self._job_ids.add(record.job_id)
             self._records.append(record)
             self._by_user.setdefault(record.user, []).append(record)
             self._by_resource.setdefault(record.resource, []).append(record)
             self._by_account.setdefault(record.account, []).append(record)
-            added += 1
-        return added
+        self.duplicates_skipped += duplicates
+        return len(fresh), duplicates
 
     # -- views --------------------------------------------------------------
     def all_records(self) -> list[UsageRecord]:
@@ -191,11 +208,20 @@ class AmieFeed:
         return len(self._buffer)
 
     def drain(self) -> int:
-        """Flush whatever is buffered right now; returns records sent."""
+        """Flush whatever is buffered right now; returns records sent.
+
+        If ingest fails, the batch is put back at the *front* of the buffer
+        (records published mid-failure keep their order behind it), so a
+        transient central-DB error delays the batch instead of losing it.
+        """
         if not self._buffer:
             return 0
         batch, self._buffer = self._buffer, []
-        self.central.ingest(batch)
+        try:
+            self.central.ingest(batch)
+        except Exception:
+            self._buffer = batch + self._buffer
+            raise
         self.batches_sent += 1
         if self.on_flush is not None:
             self.on_flush(batch)

@@ -43,6 +43,12 @@ class ResourceProvider:
         Policy class, constructed as ``factory(sim, cluster, on_job_end=...)``.
     amie_interval
         Batching interval of the accounting feed.
+    feed_factory
+        Optional replacement feed constructor, called as ``factory(sim)``.
+        Scenario assembly uses it to splice in a
+        :class:`~repro.infra.amie.ResilientAmieFeed` when a packet-fault
+        regime is active; the default (None) builds the plain lossless
+        :class:`AmieFeed`, byte-identical to historical behaviour.
     """
 
     def __init__(
@@ -54,12 +60,16 @@ class ResourceProvider:
         scheduler_factory: Type[BatchScheduler] | Callable[..., BatchScheduler] = EasyBackfillScheduler,
         amie_interval: float = 6 * HOUR,
         queues: Optional[QueueSet] = None,
+        feed_factory: Optional[Callable[[Simulator], AmieFeed]] = None,
     ) -> None:
         self.sim = sim
         self.cluster = cluster
         self.ledger = ledger
         self.queues = queues if queues is not None else default_queues(cluster)
-        self.feed = AmieFeed(sim, central, interval=amie_interval)
+        if feed_factory is not None:
+            self.feed = feed_factory(sim)
+        else:
+            self.feed = AmieFeed(sim, central, interval=amie_interval)
         self.scheduler = scheduler_factory(sim, cluster, on_job_end=self._on_job_end)
         self.records_emitted = 0
         #: unplanned-outage state (see :mod:`repro.infra.resilience`)

@@ -13,6 +13,7 @@ from repro.scenarios.dsl import (
     SCHEDULERS,
     FederationDef,
     GatewayFleet,
+    IngestFaults,
     LoadShape,
     ModalityMix,
     OutageRegime,
@@ -34,6 +35,7 @@ __all__ = [
     "SCHEDULERS",
     "FederationDef",
     "GatewayFleet",
+    "IngestFaults",
     "LoadShape",
     "ModalityMix",
     "OracleReport",

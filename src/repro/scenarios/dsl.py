@@ -12,7 +12,8 @@ declarative alternative: a small, validated, composable description of
 * a **gateway fleet** (portal count, tagging coverage, outage backlog,
   adoption ramp),
 * an **outage regime** (unplanned whole-site / partial-rack failure process),
-* a **recovery suite** (per-modality reaction policies), and
+* a **recovery suite** (per-modality reaction policies),
+* an **ingest-fault regime** (lossy AMIE packet exchange + recovery level), and
 * a **load shape** (overall intensity plus time-varying ramp)
 
 that :meth:`ScenarioProgram.compile` lowers deterministically to a
@@ -38,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.modalities import MODALITY_ORDER, Modality
+from repro.infra.amie import IngestRecoveryPolicy, PacketFaultRegime
 from repro.infra.metascheduler import SelectionStrategy
 from repro.infra.resilience import OutagePolicy
 from repro.infra.scheduler import (
@@ -56,6 +58,7 @@ from repro.workloads.synthetic import ScenarioConfig
 __all__ = [
     "FederationDef",
     "GatewayFleet",
+    "IngestFaults",
     "LoadShape",
     "ModalityMix",
     "OutageRegime",
@@ -63,6 +66,9 @@ __all__ = [
     "SCHEDULERS",
     "ScenarioProgram",
 ]
+
+#: Recovery levels an :class:`IngestFaults` section may name.
+INGEST_RECOVERY_LEVELS = ("none", "retry", "audit")
 
 #: Scheduler policies a program may name (the YAML-facing vocabulary).
 SCHEDULERS = {
@@ -227,6 +233,58 @@ class RecoverySuite:
 
 
 @dataclass(frozen=True)
+class IngestFaults:
+    """A lossy AMIE accounting exchange, in human units.
+
+    Rates are per-packet probabilities; the mean transit delay is in
+    minutes.  ``recovery`` names how hard the exchange fights back:
+    ``"none"`` (fire-and-forget), ``"retry"`` (ack-timeout retransmission
+    only), or ``"audit"`` (retransmission plus the end-of-run
+    reconciliation audit with targeted re-sends — the level that drives
+    unrecovered records to zero).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_mean_minutes: float = 0.0
+    recovery: str = "audit"
+    ack_timeout_minutes: float = 30.0
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.recovery not in INGEST_RECOVERY_LEVELS:
+            raise ValueError(
+                f"unknown recovery level {self.recovery!r}; "
+                f"choose from {list(INGEST_RECOVERY_LEVELS)}"
+            )
+        if self.delay_mean_minutes < 0:
+            raise ValueError(
+                f"delay_mean_minutes must be >= 0, got {self.delay_mean_minutes}"
+            )
+        self.regime()  # delegate rate validation to PacketFaultRegime
+        self.policy()  # and timeout/attempt validation to IngestRecoveryPolicy
+
+    def regime(self) -> PacketFaultRegime:
+        return PacketFaultRegime(
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_rate=self.reorder_rate,
+            corrupt_rate=self.corrupt_rate,
+            delay_mean=self.delay_mean_minutes * MINUTE,
+        )
+
+    def policy(self) -> IngestRecoveryPolicy:
+        return IngestRecoveryPolicy(
+            retransmit=self.recovery != "none",
+            ack_timeout=self.ack_timeout_minutes * MINUTE,
+            max_attempts=self.max_attempts,
+            reconcile=self.recovery == "audit",
+        )
+
+
+@dataclass(frozen=True)
 class LoadShape:
     """Overall demand level and its variation over the run.
 
@@ -272,6 +330,7 @@ class ScenarioProgram:
     gateways: GatewayFleet = field(default_factory=GatewayFleet)
     outages: Optional[OutageRegime] = None
     recovery: Optional[RecoverySuite] = None
+    ingest: Optional[IngestFaults] = None
     load: LoadShape = field(default_factory=LoadShape)
     scheduler: str = "easy_backfill"
     metascheduler: SelectionStrategy = SelectionStrategy.PREDICTED_START
@@ -340,4 +399,6 @@ class ScenarioProgram:
             ),
             recovery=None if recovery is None else recovery.policies(),
             gateway_backlog=self.gateways.backlog,
+            packet_faults=None if self.ingest is None else self.ingest.regime(),
+            ingest_recovery=None if self.ingest is None else self.ingest.policy(),
         )

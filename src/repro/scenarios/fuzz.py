@@ -98,6 +98,10 @@ def run_fuzz(
         deadline=None,
         derandomize=False,
         print_blob=False,
+        # Shrinking a failure can stumble into a *different* bug; chase one
+        # counterexample to its minimum instead of raising an ExceptionGroup
+        # (which would be reported as a harness crash, nondeterministically).
+        report_multiple_bugs=False,
         suppress_health_check=list(HealthCheck),
     )
     @hypothesis_seed(seed)

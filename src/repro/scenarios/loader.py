@@ -22,6 +22,7 @@ A document looks like::
     outages: {site_mtbf_days: 10, repair_median_hours: 4}
     recovery:
       batch: {max_attempts: 5, backoff_base: 600}
+    ingest: {drop_rate: 0.1, corrupt_rate: 0.05, recovery: audit}
     load: {intensity: 1.5}
     scheduler: easy_backfill
     metascheduler: least_loaded
@@ -39,6 +40,7 @@ from repro.infra.metascheduler import SelectionStrategy
 from repro.scenarios.dsl import (
     FederationDef,
     GatewayFleet,
+    IngestFaults,
     LoadShape,
     ModalityMix,
     OutageRegime,
@@ -127,6 +129,7 @@ _PROGRAM_KEYS = {
     "gateways",
     "outages",
     "recovery",
+    "ingest",
     "load",
     "scheduler",
     "metascheduler",
@@ -159,6 +162,8 @@ def program_from_dict(data: dict) -> ScenarioProgram:
         kwargs["outages"] = OutageRegime(**dict(data["outages"]))
     if "recovery" in data:
         kwargs["recovery"] = _recovery(dict(data["recovery"]))
+    if "ingest" in data:
+        kwargs["ingest"] = IngestFaults(**dict(data["ingest"]))
     if "load" in data:
         kwargs["load"] = LoadShape(**dict(data["load"]))
     if "scheduler" in data:

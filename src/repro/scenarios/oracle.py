@@ -80,14 +80,55 @@ def _close(a: float, b: float, scale: float = 1.0) -> bool:
 
 
 def check_conservation(result, report: OracleReport) -> None:
-    """NU charged in the ledger ≡ NU recorded centrally; feeds drained."""
+    """NU charged in the ledger ≡ NU recorded centrally; feeds drained.
+
+    Under a packet-fault regime the lossless identity weakens to
+    *conservation up to unrecovered records*: every charged NU appears
+    either centrally or in a site ledger entry the audit could not (or was
+    not allowed to) recover — and with reconciliation re-sends enabled, the
+    strong identity must hold again.
+    """
     charged = result.ledger.total_charged()
     recorded = result.central.total_nu()
-    report.record(
-        "conservation.ledger_vs_central",
-        _close(charged, recorded),
-        f"ledger charged {charged!r} NU but central recorded {recorded!r}",
-    )
+    faulty = getattr(result, "amie_endpoint", None) is not None
+    if not faulty:
+        report.record(
+            "conservation.ledger_vs_central",
+            _close(charged, recorded),
+            f"ledger charged {charged!r} NU but central recorded {recorded!r}",
+        )
+    else:
+        published = sum(
+            r.charged_nu for p in result.providers for r in p.feed.ledger
+        )
+        report.record(
+            "conservation.ledger_vs_published",
+            _close(charged, published),
+            f"ledger charged {charged!r} NU but sites published {published!r}",
+        )
+        known = result.central.job_ids()
+        missing_nu = sum(
+            r.charged_nu
+            for p in result.providers
+            for r in p.feed.ledger
+            if r.job_id not in known
+        )
+        report.record(
+            "conservation.up_to_missing",
+            _close(recorded + missing_nu, charged),
+            f"central {recorded!r} + missing {missing_nu!r} NU != "
+            f"charged {charged!r}",
+        )
+        reconciliation = result.reconciliation
+        if reconciliation is not None and reconciliation.resend_enabled:
+            report.record(
+                "conservation.reconciled",
+                reconciliation.total_unrecovered == 0
+                and _close(charged, recorded),
+                f"audit with re-sends left "
+                f"{reconciliation.total_unrecovered} records unrecovered "
+                f"(central {recorded!r} NU vs charged {charged!r})",
+            )
     summed = sum(r.charged_nu for r in result.records)
     report.record(
         "conservation.record_sum",
@@ -106,6 +147,70 @@ def check_conservation(result, report: OracleReport) -> None:
             f"{provider.name} emitted {provider.records_emitted} records for "
             f"{len(provider.scheduler.completed)} terminal jobs",
         )
+
+
+def check_ingest_exchange(result, report: OracleReport) -> None:
+    """Faulty-exchange bookkeeping must reconcile exactly (no silent loss).
+
+    Lossless runs have no exchange state; every invariant passes vacuously.
+    """
+    endpoint = getattr(result, "amie_endpoint", None)
+    if endpoint is None:
+        for invariant in (
+            "ingest.feed_counters",
+            "ingest.endpoint_counters",
+            "ingest.quarantine_structured",
+            "ingest.audit_counters",
+        ):
+            report.record(invariant, True)
+        return
+    known = result.central.job_ids()
+    for provider in result.providers:
+        feed = provider.feed
+        delivered = endpoint.delivered_records(feed.feed_id)
+        unrecovered = sum(1 for r in feed.ledger if r.job_id not in known)
+        report.record(
+            "ingest.feed_counters",
+            feed.records_published == len(feed.ledger)
+            and feed.records_published == delivered + unrecovered,
+            f"{feed.feed_id}: published {feed.records_published} records but "
+            f"ledger holds {len(feed.ledger)}, delivered {delivered}, "
+            f"unrecovered {unrecovered}",
+        )
+    report.record(
+        "ingest.endpoint_counters",
+        endpoint.packets_received
+        == endpoint.packets_accepted
+        + endpoint.packets_duplicate
+        + endpoint.packets_quarantined,
+        f"endpoint received {endpoint.packets_received} packets but "
+        f"accepted {endpoint.packets_accepted} + duplicate "
+        f"{endpoint.packets_duplicate} + quarantined "
+        f"{endpoint.packets_quarantined}",
+    )
+    structured = all(
+        q.reason in ("truncated", "corrupted") and q.detail and q.n_records >= 0
+        for q in endpoint.quarantine
+    )
+    report.record(
+        "ingest.quarantine_structured",
+        structured and len(endpoint.quarantine) == endpoint.packets_quarantined,
+        f"{len(endpoint.quarantine)} quarantine entries for "
+        f"{endpoint.packets_quarantined} quarantined packets",
+    )
+    reconciliation = result.reconciliation
+    audit_ok = reconciliation is not None and all(
+        audit.published == audit.delivered + audit.unrecovered
+        and audit.recovered <= audit.resent
+        and (audit.unrecovered == 0 or not reconciliation.resend_enabled)
+        for audit in reconciliation.audits
+    )
+    report.record(
+        "ingest.audit_counters",
+        audit_ok,
+        "reconciliation audit missing or internally inconsistent: "
+        f"{reconciliation!r}",
+    )
 
 
 def check_no_double_charge(result, report: OracleReport) -> None:
@@ -308,6 +413,7 @@ def check_scenario(result) -> OracleReport:
     """Run every invariant over one :class:`ScenarioResult`."""
     report = OracleReport()
     check_conservation(result, report)
+    check_ingest_exchange(result, report)
     check_no_double_charge(result, report)
     check_records_wellformed(result, report)
     check_classifier_sanity(result, report)

@@ -28,6 +28,7 @@ from repro.scenarios.dsl import (
     SCHEDULERS,
     FederationDef,
     GatewayFleet,
+    IngestFaults,
     LoadShape,
     ModalityMix,
     OutageRegime,
@@ -40,6 +41,7 @@ from repro.workloads.scenarios import SiteSpec
 __all__ = [
     "federations",
     "gateway_fleets",
+    "ingest_faults",
     "modality_mixes",
     "outage_regimes",
     "recovery_suites",
@@ -158,6 +160,27 @@ def recovery_suites(draw) -> RecoverySuite:
 
 
 @st.composite
+def ingest_faults(draw) -> IngestFaults:
+    """A dirty-but-bounded accounting link with every recovery level.
+
+    Rates stay below ~0.4 so a short fuzz horizon still delivers *some*
+    packets first-try; ``recovery`` ranges over all three levels so the
+    oracle exercises fire-and-forget loss, retry convergence, and the
+    audit's zero-unrecovered guarantee.
+    """
+    return IngestFaults(
+        drop_rate=draw(st.sampled_from([0.0, 0.1, 0.25, 0.4])),
+        duplicate_rate=draw(st.sampled_from([0.0, 0.1, 0.25])),
+        reorder_rate=draw(st.sampled_from([0.0, 0.15, 0.3])),
+        corrupt_rate=draw(st.sampled_from([0.0, 0.1, 0.25])),
+        delay_mean_minutes=draw(st.sampled_from([0.0, 10.0, 45.0])),
+        recovery=draw(st.sampled_from(["none", "retry", "audit"])),
+        ack_timeout_minutes=draw(st.sampled_from([15.0, 30.0, 60.0])),
+        max_attempts=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@st.composite
 def scenario_programs(draw, max_days: float = 6.0) -> ScenarioProgram:
     """One random point in scenario space, sized for sub-second simulation."""
     has_outages = draw(st.booleans())
@@ -166,6 +189,9 @@ def scenario_programs(draw, max_days: float = 6.0) -> ScenarioProgram:
         outages.site_mtbf_days == 0.0 and outages.partial_mtbf_days == 0.0
     ):
         outages = None  # both processes disabled: same as no regime
+    faults = draw(ingest_faults()) if draw(st.booleans()) else None
+    if faults is not None and not faults.regime().enabled:
+        faults = None  # all-zero regime: same plain path as no section
     return ScenarioProgram(
         name=f"fuzz-{draw(st.integers(min_value=0, max_value=10**6))}",
         description="drawn from scenario space",
@@ -178,6 +204,7 @@ def scenario_programs(draw, max_days: float = 6.0) -> ScenarioProgram:
         gateways=draw(gateway_fleets()),
         outages=outages,
         recovery=draw(recovery_suites()) if has_outages else None,
+        ingest=faults,
         load=LoadShape(
             intensity=draw(
                 st.floats(min_value=0.5, max_value=3.0, allow_nan=False)

@@ -27,6 +27,13 @@ from typing import Callable, Optional, Type
 import repro.infra as infra
 from repro.core.modalities import Modality
 from repro.infra.accounting import CentralAccountingDB, UsageRecord
+from repro.infra.amie import (
+    AmieIngestEndpoint,
+    IngestRecoveryPolicy,
+    PacketFaultRegime,
+    ReconciliationReport,
+    ResilientAmieFeed,
+)
 from repro.infra.metascheduler import SelectionStrategy
 from repro.infra.resilience import OutagePolicy, SiteOutageInjector
 from repro.infra.scheduler.base import BatchScheduler
@@ -89,6 +96,12 @@ class ScenarioConfig:
     recovery: Optional[dict[Modality, RecoveryPolicy]] = None
     #: gateway requests held through a backend outage (0 = shed them all)
     gateway_backlog: int = 0
+    #: fault climate of the site→center AMIE exchange (None/disabled = the
+    #: historical lossless in-process call, byte-identical to legacy runs)
+    packet_faults: Optional[PacketFaultRegime] = None
+    #: recovery discipline against ``packet_faults`` (None = full defaults:
+    #: retransmit with backoff + end-of-run reconciliation re-sends)
+    ingest_recovery: Optional[IngestRecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         # Fail at construction with a nameable knob, not downstream with a
@@ -124,10 +137,29 @@ class ScenarioConfig:
                 "outage_propagation_lag must be >= 0, "
                 f"got {self.outage_propagation_lag}"
             )
+        if self.packet_faults is not None and not isinstance(
+            self.packet_faults, PacketFaultRegime
+        ):
+            raise ValueError(
+                f"packet_faults must be a PacketFaultRegime, "
+                f"got {self.packet_faults!r}"
+            )
+        if self.ingest_recovery is not None and not isinstance(
+            self.ingest_recovery, IngestRecoveryPolicy
+        ):
+            raise ValueError(
+                f"ingest_recovery must be an IngestRecoveryPolicy, "
+                f"got {self.ingest_recovery!r}"
+            )
 
     @property
     def horizon(self) -> float:
         return self.days * DAY
+
+    @property
+    def faulty_ingest(self) -> bool:
+        """Whether the AMIE exchange runs over the faulty transport."""
+        return self.packet_faults is not None and self.packet_faults.enabled
 
 
 @dataclass
@@ -145,6 +177,10 @@ class ScenarioResult:
     metascheduler: Optional[infra.Metascheduler] = None
     context: Optional[SimulationContext] = None
     injectors: list = field(default_factory=list)
+    #: central receive side of the faulty AMIE exchange (None = lossless run)
+    amie_endpoint: Optional[AmieIngestEndpoint] = None
+    #: end-of-run audit outcome (None = lossless run)
+    reconciliation: Optional[ReconciliationReport] = None
 
     @property
     def records(self) -> list[UsageRecord]:
@@ -213,9 +249,36 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
     central = CentralAccountingDB()
     network = infra.Network(sim)
 
+    # A disabled regime takes the plain lossless path below — not merely an
+    # equivalent-looking one: the resilient feed schedules extra simulator
+    # events, and byte-identity with historical runs demands zero of them.
+    endpoint = None
+    recovery = None
+    if config.faulty_ingest:
+        endpoint = AmieIngestEndpoint(central)
+        recovery = (
+            config.ingest_recovery
+            if config.ingest_recovery is not None
+            else IngestRecoveryPolicy()
+        )
+
     specs = config.sites if config.sites is not None else federation_specs(config.scale)
     providers = []
     for spec in specs:
+        feed_factory = None
+        if endpoint is not None:
+            def feed_factory(
+                feed_sim, _name=spec.name, _endpoint=endpoint, _recovery=recovery
+            ):
+                return ResilientAmieFeed(
+                    feed_sim,
+                    _endpoint,
+                    feed_id=_name,
+                    regime=config.packet_faults,
+                    policy=_recovery,
+                    rng=streams.stream(f"amie:{_name}"),
+                    interval=config.amie_interval,
+                )
         provider = infra.ResourceProvider(
             sim,
             spec.cluster(),
@@ -223,6 +286,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
             central,
             scheduler_factory=config.scheduler_factory,
             amie_interval=config.amie_interval,
+            feed_factory=feed_factory,
         )
         providers.append(provider)
         network.add_site(spec.name, spec.wan_bandwidth)
@@ -286,6 +350,12 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
     sim.run(until=config.horizon)
     for provider in providers:
         provider.feed.drain()
+    reconciliation = None
+    if endpoint is not None:
+        reconciliation = endpoint.reconcile(
+            [provider.feed for provider in providers],
+            resend=recovery.reconcile,
+        )
 
     return ScenarioResult(
         config=config,
@@ -299,6 +369,8 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         metascheduler=meta,
         context=ctx,
         injectors=injectors,
+        amie_endpoint=endpoint,
+        reconciliation=reconciliation,
     )
 
 

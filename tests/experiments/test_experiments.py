@@ -14,7 +14,7 @@ from repro.experiments.base import campaign
 ALL_IDS = {
     "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
     "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
-    "A1", "A2", "A3", "A4", "R1",
+    "A1", "A2", "A3", "A4", "A5", "R1",
 }
 
 
@@ -198,6 +198,28 @@ def test_a3_structure():
     output = run_experiment("A3", mtbfs_hours=(500.0,))
     entry = output.data[500.0]
     assert entry["checkpoint"]["waste_ratio"] <= entry["restart"]["waste_ratio"]
+
+
+def test_a5_recovery_ladder():
+    output = run_experiment("A5", days=3.0, regimes=("hostile",))
+    clean = output.data["clean"]
+    none = output.data["hostile / none"]
+    retry = output.data["hostile / retry"]
+    audit = output.data["hostile / audit"]
+    # clean cell: lossless exchange, perfect conservation
+    assert clean["delivered"] == clean["published"]
+    assert clean["nu_err"] == pytest.approx(0.0, abs=1e-9)
+    assert clean["unrecovered"] == 0
+    # the recovery ladder strictly improves delivery
+    assert none["delivered"] < retry["delivered"] <= audit["delivered"]
+    assert none["unrecovered"] > 0
+    assert retry["unrecovered"] <= none["unrecovered"]
+    # the audit's guarantee: nothing unrecovered, conservation restored
+    assert audit["unrecovered"] == 0
+    assert audit["delivered"] == audit["published"]
+    assert audit["nu_err"] == pytest.approx(0.0, abs=1e-9)
+    # measurement damage is undercounting, not misclassification
+    assert none["accuracy"] > 0.9
 
 
 def test_t7_gateway_report(fast_knobs):

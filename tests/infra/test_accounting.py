@@ -83,12 +83,38 @@ def test_central_db_indices():
     assert db.total_nu() == pytest.approx(4.0)
 
 
-def test_central_db_rejects_duplicate_job():
+def test_central_db_skips_duplicate_job():
+    """A replayed record is a counted no-op, not an exception."""
     db = CentralAccountingDB()
     record = UsageRecord.from_job(terminal_job())
-    db.ingest([record])
-    with pytest.raises(ValueError):
-        db.ingest([record])
+    assert db.ingest([record]) == (1, 0)
+    assert db.ingest([record]) == (0, 1)
+    assert len(db) == 1
+    assert db.duplicates_skipped == 1
+
+
+def test_central_db_ingest_is_atomic_on_mid_batch_duplicate():
+    """A duplicate mid-batch must not leave earlier records half-indexed."""
+    db = CentralAccountingDB()
+    first = UsageRecord.from_job(terminal_job(user="alice"))
+    fresh = UsageRecord.from_job(terminal_job(user="bob"))
+    later = UsageRecord.from_job(terminal_job(user="carol"))
+    db.ingest([first])
+    added, duplicates = db.ingest([fresh, first, later])
+    assert (added, duplicates) == (2, 1)
+    assert len(db) == 3
+    assert db.users() == ["alice", "bob", "carol"]
+    # every index saw exactly the fresh records, once
+    assert len(db.records_of_user("bob")) == 1
+    assert len(db.records_of_user("carol")) == 1
+    assert len(db.records_of_account("acct")) == 3
+
+
+def test_central_db_skips_duplicate_within_one_batch():
+    db = CentralAccountingDB()
+    record = UsageRecord.from_job(terminal_job())
+    assert db.ingest([record, record]) == (1, 1)
+    assert len(db) == 1
 
 
 def test_amie_feed_batches_by_interval():
@@ -119,3 +145,98 @@ def test_amie_drain_flushes_immediately():
 def test_amie_interval_validation():
     with pytest.raises(ValueError):
         AmieFeed(Simulator(), CentralAccountingDB(), interval=0.0)
+    with pytest.raises(ValueError):
+        AmieFeed(Simulator(), CentralAccountingDB(), interval=-1.0)
+
+
+def test_amie_drain_rebuffers_batch_on_ingest_failure():
+    """A central-DB error delays the batch instead of losing it."""
+
+    class FlakyCentral(CentralAccountingDB):
+        def __init__(self):
+            super().__init__()
+            self.fail_next = True
+
+        def ingest(self, records):
+            if self.fail_next:
+                self.fail_next = False
+                raise RuntimeError("tgcdb briefly unavailable")
+            return super().ingest(records)
+
+    sim = Simulator()
+    db = FlakyCentral()
+    feed = AmieFeed(sim, db, interval=6 * HOUR)
+    early = UsageRecord.from_job(terminal_job(user="alice"))
+    feed.publish(early)
+    with pytest.raises(RuntimeError):
+        feed.drain()
+    # nothing lost or counted as sent; the batch is buffered again
+    assert feed.buffered == 1
+    assert feed.batches_sent == 0
+    assert len(db) == 0
+    # records published after the failure queue *behind* the failed batch
+    late = UsageRecord.from_job(terminal_job(user="bob"))
+    feed.publish(late)
+    assert feed.drain() == 2
+    assert [r.user for r in db.all_records()] == ["alice", "bob"]
+
+
+def test_amie_feed_flushes_every_interval():
+    """Cadence: one flush per interval boundary, each carrying its window."""
+    sim = Simulator()
+    db = CentralAccountingDB()
+    batches = []
+    feed = AmieFeed(sim, db, interval=6 * HOUR, on_flush=batches.append)
+
+    def producer(sim):
+        for hour in (1, 5, 8, 13):
+            yield sim.timeout(hour * HOUR - sim.now)
+            feed.publish(UsageRecord.from_job(terminal_job()))
+
+    sim.process(producer(sim))
+    sim.run(until=18 * HOUR + 1)
+    # windows: (0,6]h -> 2 records, (6,12]h -> 1, (12,18]h -> 1
+    assert [len(b) for b in batches] == [2, 1, 1]
+    assert feed.batches_sent == 3
+    assert len(db) == 4
+
+
+def test_amie_feed_empty_interval_sends_no_batch():
+    sim = Simulator()
+    db = CentralAccountingDB()
+    batches = []
+    feed = AmieFeed(sim, db, interval=6 * HOUR, on_flush=batches.append)
+    sim.run(until=24 * HOUR)
+    assert batches == []
+    assert feed.batches_sent == 0
+
+
+def test_amie_on_flush_observes_batches_in_publish_order():
+    sim = Simulator()
+    db = CentralAccountingDB()
+    seen = []
+    feed = AmieFeed(
+        sim, db, interval=HOUR, on_flush=lambda b: seen.extend(r.user for r in b)
+    )
+    for user in ("alice", "bob", "carol"):
+        feed.publish(UsageRecord.from_job(terminal_job(user=user)))
+    sim.run(until=HOUR + 1)
+    assert seen == ["alice", "bob", "carol"]
+
+
+def test_amie_end_of_run_drain_flushes_partial_window():
+    """The horizon rarely lands on a flush boundary; drain picks up the tail."""
+    sim = Simulator()
+    db = CentralAccountingDB()
+    feed = AmieFeed(sim, db, interval=6 * HOUR)
+
+    def producer(sim):
+        yield sim.timeout(7 * HOUR)
+        feed.publish(UsageRecord.from_job(terminal_job()))
+
+    sim.process(producer(sim))
+    sim.run(until=8 * HOUR)  # past one flush, before the next
+    assert feed.buffered == 1
+    assert feed.drain() == 1
+    assert feed.buffered == 0
+    assert len(db) == 1

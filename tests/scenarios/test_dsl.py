@@ -8,6 +8,7 @@ from repro.infra.scheduler import FcfsScheduler
 from repro.scenarios import (
     FederationDef,
     GatewayFleet,
+    IngestFaults,
     LoadShape,
     ModalityMix,
     OutageRegime,
@@ -205,3 +206,64 @@ def test_compile_carries_gateway_fleet_and_metascheduler():
     assert config.gateway_adoption_ramp_days == 2.0
     assert config.population.n_gateways == 2
     assert config.metascheduler_strategy is SelectionStrategy.ROUND_ROBIN
+
+
+# ---------------------------------------------------------------- ingest
+
+
+def test_ingest_faults_validation():
+    with pytest.raises(ValueError, match="unknown recovery level"):
+        IngestFaults(recovery="hope")
+    with pytest.raises(ValueError, match="drop_rate"):
+        IngestFaults(drop_rate=1.5)
+    with pytest.raises(ValueError, match="delay_mean_minutes"):
+        IngestFaults(delay_mean_minutes=-5.0)
+    with pytest.raises(ValueError, match="ack_timeout"):
+        IngestFaults(ack_timeout_minutes=0.0)
+    with pytest.raises(ValueError, match="max_attempts"):
+        IngestFaults(max_attempts=0)
+
+
+def test_ingest_faults_lower_to_regime_and_policy():
+    faults = IngestFaults(
+        drop_rate=0.2,
+        corrupt_rate=0.1,
+        delay_mean_minutes=15.0,
+        recovery="retry",
+        ack_timeout_minutes=20.0,
+        max_attempts=3,
+    )
+    regime = faults.regime()
+    assert regime.drop_rate == 0.2
+    assert regime.corrupt_rate == 0.1
+    assert regime.delay_mean == 15.0 * 60.0
+    assert regime.enabled
+    policy = faults.policy()
+    assert policy.retransmit and not policy.reconcile
+    assert policy.ack_timeout == 20.0 * 60.0
+    assert policy.max_attempts == 3
+
+
+def test_ingest_recovery_levels_map_to_policy_flags():
+    assert IngestFaults(recovery="none").policy().retransmit is False
+    assert IngestFaults(recovery="none").policy().reconcile is False
+    retry = IngestFaults(recovery="retry").policy()
+    assert retry.retransmit and not retry.reconcile
+    audit = IngestFaults(recovery="audit").policy()
+    assert audit.retransmit and audit.reconcile
+
+
+def test_compile_carries_ingest_section():
+    program = ScenarioProgram(
+        name="p", ingest=IngestFaults(drop_rate=0.1, recovery="audit")
+    )
+    config = program.compile()
+    assert config.packet_faults == IngestFaults(drop_rate=0.1).regime()
+    assert config.ingest_recovery is not None
+    assert config.ingest_recovery.reconcile
+    assert config.faulty_ingest
+    # no section -> both knobs stay off
+    calm = ScenarioProgram(name="q").compile()
+    assert calm.packet_faults is None
+    assert calm.ingest_recovery is None
+    assert not calm.faulty_ingest

@@ -10,6 +10,7 @@ from repro.infra.metascheduler import SelectionStrategy
 from repro.scenarios import (
     FederationDef,
     GatewayFleet,
+    IngestFaults,
     LoadShape,
     ModalityMix,
     OutageRegime,
@@ -149,3 +150,38 @@ def test_section_validation_still_applies():
         )
     with pytest.raises(ValueError, match="unknown scheduler"):
         program_from_dict({"name": "x", "scheduler": "lottery"})
+
+
+def test_ingest_section_round_trips():
+    program = program_from_dict(
+        {
+            "name": "x",
+            "ingest": {
+                "drop_rate": 0.25,
+                "duplicate_rate": 0.1,
+                "delay_mean_minutes": 30,
+                "recovery": "retry",
+                "max_attempts": 3,
+            },
+        }
+    )
+    assert program.ingest == IngestFaults(
+        drop_rate=0.25,
+        duplicate_rate=0.1,
+        delay_mean_minutes=30,
+        recovery="retry",
+        max_attempts=3,
+    )
+    config = program.compile()
+    assert config.faulty_ingest
+    assert config.ingest_recovery.retransmit
+    assert not config.ingest_recovery.reconcile
+
+
+def test_ingest_section_validation_applies_through_loader():
+    with pytest.raises(ValueError, match="unknown recovery level"):
+        program_from_dict(
+            {"name": "x", "ingest": {"recovery": "wishful-thinking"}}
+        )
+    with pytest.raises(TypeError):
+        program_from_dict({"name": "x", "ingest": {"packet_size": 9}})

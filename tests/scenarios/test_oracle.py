@@ -12,8 +12,10 @@ import dataclasses
 import pytest
 
 from repro.core.modalities import Modality
+from repro.infra.amie import QuarantinedPacket
 from repro.scenarios import (
     FederationDef,
+    IngestFaults,
     ModalityMix,
     OracleReport,
     OutageRegime,
@@ -72,7 +74,8 @@ def test_clean_run_is_green(result):
     assert failed(report) == set()
     # Every invariant family actually ran.
     assert {c.split(".")[0] for c in report.checks} == {
-        "conservation", "double_charge", "records", "classifier", "lost_work",
+        "conservation", "ingest", "double_charge", "records", "classifier",
+        "lost_work",
     }
 
 
@@ -140,6 +143,113 @@ def test_undrained_feed_trips_conservation(result):
     provider.feed.publish(result.records[0])
     report = check_scenario(result)
     assert "conservation.feed_drained" in failed(report)
+
+
+# --------------------------------------------------------- faulty-exchange
+
+
+FAULTY_FIXTURE = dataclasses.replace(
+    FIXTURE,
+    name="oracle-fixture-faulty",
+    outages=None,
+    ingest=IngestFaults(
+        drop_rate=0.3,
+        duplicate_rate=0.15,
+        corrupt_rate=0.15,
+        delay_mean_minutes=30.0,
+        recovery="audit",
+    ),
+)
+
+
+@pytest.fixture
+def faulty_result():
+    return run_scenario(FAULTY_FIXTURE.compile())
+
+
+def test_clean_faulty_run_is_green(faulty_result):
+    assert faulty_result.amie_endpoint is not None
+    report = check_scenario(faulty_result)
+    assert report.ok, "\n".join(str(v) for v in report.violations)
+    # the weakened-conservation invariants replaced the strict identity
+    assert "conservation.ledger_vs_published" in report.checks
+    assert "conservation.up_to_missing" in report.checks
+    assert "conservation.reconciled" in report.checks
+    assert "conservation.ledger_vs_central" not in report.checks
+
+
+def test_tampered_site_ledger_trips_published_conservation(faulty_result):
+    feed = faulty_result.providers[0].feed
+    feed.ledger[0] = dataclasses.replace(
+        feed.ledger[0], charged_nu=feed.ledger[0].charged_nu + 1e6
+    )
+    report = check_scenario(faulty_result)
+    assert "conservation.ledger_vs_published" in failed(report)
+
+
+def test_silent_record_loss_trips_reconciled(faulty_result):
+    # Remove a record from central after the audit claimed zero unrecovered:
+    # the with-resends conservation identity no longer holds.
+    victim = faulty_result.central._records.pop(0)
+    faulty_result.central._job_ids.discard(victim.job_id)
+    report = check_scenario(faulty_result)
+    assert "conservation.reconciled" in failed(report)
+    assert "ingest.feed_counters" in failed(report)
+
+
+def test_drifted_published_counter_trips_feed_counters(faulty_result):
+    faulty_result.providers[0].feed.records_published += 1
+    report = check_scenario(faulty_result)
+    assert "ingest.feed_counters" in failed(report)
+
+
+def test_drifted_endpoint_counter_trips_endpoint_counters(faulty_result):
+    faulty_result.amie_endpoint.packets_received += 1
+    report = check_scenario(faulty_result)
+    assert "ingest.endpoint_counters" in failed(report)
+
+
+def test_unstructured_quarantine_trips_quarantine_invariant(faulty_result):
+    endpoint = faulty_result.amie_endpoint
+    endpoint.quarantine.append(
+        QuarantinedPacket(
+            feed_id="alpha",
+            seq=999,
+            reason="gremlins",
+            detail="",
+            n_records=0,
+            received_at=0.0,
+        )
+    )
+    report = check_scenario(faulty_result)
+    assert "ingest.quarantine_structured" in failed(report)
+
+
+def test_disabled_regime_is_structurally_identical_to_no_regime():
+    """An all-zero fault regime must take the exact plain-feed code path."""
+    plain = dataclasses.replace(FIXTURE, outages=None)
+    disabled = dataclasses.replace(
+        plain, name="disabled-regime", ingest=IngestFaults()
+    )
+    config = disabled.compile()
+    assert config.packet_faults is not None
+    assert not config.faulty_ingest
+
+    def shape(result):
+        return sorted(
+            (r.user, r.resource, r.submit_time, r.start_time, r.end_time,
+             r.cores, round(r.charged_nu, 9))
+            for r in result.records
+        )
+
+    result_plain = run_scenario(plain.compile())
+    result_disabled = run_scenario(config)
+    assert result_disabled.amie_endpoint is None
+    assert result_disabled.reconciliation is None
+    assert shape(result_plain) == shape(result_disabled)
+    assert result_plain.central.total_nu() == pytest.approx(
+        result_disabled.central.total_nu()
+    )
 
 
 # ---------------------------------------------------------------- report unit

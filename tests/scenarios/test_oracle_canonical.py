@@ -32,6 +32,7 @@ def test_every_invariant_family_ran(canonical):
     _result, report = canonical
     assert {check.split(".")[0] for check in report.checks} == {
         "conservation",
+        "ingest",
         "double_charge",
         "records",
         "classifier",

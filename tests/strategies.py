@@ -18,6 +18,7 @@ from repro.infra.job import JobState
 from repro.scenarios.strategies import (  # noqa: F401  (re-exports)
     federations,
     gateway_fleets,
+    ingest_faults,
     modality_mixes,
     outage_regimes,
     recovery_suites,
@@ -28,6 +29,7 @@ from repro.scenarios.strategies import (  # noqa: F401  (re-exports)
 __all__ = [
     "federations",
     "gateway_fleets",
+    "ingest_faults",
     "job_specs",
     "lognormal_medians",
     "lognormal_sigmas",
