@@ -10,6 +10,8 @@ Usage::
     python -m repro run-all --resume 20260806-101500-ab12cd
     python -m repro cache info          # result-cache location and size
     python -m repro taxonomy            # print the modality taxonomy
+    python -m repro profile T2          # event-kernel hot-path table
+    python -m repro stats               # render the latest telemetry sidecar
 
 ``run-all`` and ``run`` accept ``--jobs N`` (default: ``REPRO_JOBS`` env,
 then CPU count), ``--no-cache``, ``--task-timeout SECONDS``, ``--retries N``,
@@ -57,9 +59,13 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--timings", action="store_true",
                         help="print per-stage wall-clock and campaign dedup "
                              "counters to stderr")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL telemetry sidecar (wall-domain "
+                             "spans/events/metrics; never changes report bytes)")
 
 
-def _build_runner(args, journal=None, resume_keys=()):
+def _build_runner(args, journal=None, resume_keys=(), run_id=None):
+    from repro.obs.telemetry import Telemetry
     from repro.runner import (
         ArtifactStore,
         ParallelRunner,
@@ -86,6 +92,10 @@ def _build_runner(args, journal=None, resume_keys=()):
         journal=journal,
         resume_keys=resume_keys,
         artifacts=artifacts,
+        telemetry=Telemetry(run_id=run_id),
+        # Per-task sim tracing only when a sidecar was asked for explicitly:
+        # the default path keeps the kernel's no-tracer fast path.
+        trace_sim=getattr(args, "trace", None) is not None,
     )
 
 
@@ -121,20 +131,79 @@ def _fault_note(runner) -> str:
 
 
 def _print_timings(runner) -> None:
-    """``--timings``: per-stage wall-clock + campaign dedup, on stderr."""
-    stages = ", ".join(
-        f"{stage}: {seconds:.2f}s"
-        for stage, seconds in runner.stage_seconds.items()
-    ) or "none"
-    stats = runner.campaign_stats
-    print(f"[timings: {stages}]", file=sys.stderr)
-    print(
-        f"[campaigns: {stats['distinct']} distinct, "
-        f"{stats['simulated']} simulated, {stats['reused']} reused, "
-        f"{stats['fallbacks']} fallback simulations, "
-        f"{stats['loads']} artifact loads ({stats['load_seconds']:.2f}s)]",
-        file=sys.stderr,
+    """``--timings``: the telemetry view of stage/campaign data, on stderr.
+
+    The numbers come from the same terminal wall-summary record the JSONL
+    sidecar carries — the stderr lines are a rendering of telemetry, not a
+    parallel bookkeeping path.
+    """
+    from repro.obs.telemetry import Telemetry, timings_lines
+
+    telemetry = runner.telemetry if runner.telemetry is not None else Telemetry()
+    for line in timings_lines(telemetry.finish(runner)):
+        print(line, file=sys.stderr)
+
+
+def _write_sidecar(runner, path) -> None:
+    """``--trace FILE``: persist the run's telemetry sidecar."""
+    if runner.telemetry is None or not path:
+        return
+    written = runner.telemetry.write_jsonl(path)
+    print(f"[telemetry sidecar written to {written}]", file=sys.stderr)
+
+
+def _print_last_run_rates(args) -> None:
+    """``cache stats``: hit rates of the latest run, from its sidecar.
+
+    The sidecar's ``cache`` block is a snapshot of the registry-backed
+    :class:`~repro.runner.cache.CacheStats`; campaign reuse comes from the
+    same terminal summary.  Silent no-op when no run has left telemetry.
+    """
+    sidecar = _latest_sidecar(args)
+    if sidecar is None:
+        return
+    from repro.obs import read_sidecar, sidecar_summary
+
+    try:
+        summary = sidecar_summary(read_sidecar(sidecar))
+    except (OSError, ValueError):
+        return
+    cache = summary.get("cache")
+    if cache:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = cache.get("hits", 0) / lookups if lookups else 0.0
+        print(f"last run:     {cache.get('hits', 0)} hits, "
+              f"{cache.get('misses', 0)} misses ({rate:.1%} hit rate)")
+    stats = summary.get("campaign_stats")
+    if stats and stats.get("distinct"):
+        reused = stats.get("reused", 0)
+        rate = reused / stats["distinct"]
+        print(f"              {stats['distinct']} campaigns, {reused} reused "
+              f"({rate:.1%} artifact/memo reuse)")
+
+
+def _latest_sidecar(args):
+    """Newest ``<runs-dir>/<run-id>/telemetry.jsonl`` by write time.
+
+    Run ids only timestamp to the second (the suffix is random), so two
+    quick runs can tie lexically; the file mtime breaks the tie.
+    """
+    from pathlib import Path
+
+    from repro.runner import default_runs_dir
+
+    runs_dir = (
+        Path(args.runs_dir)
+        if getattr(args, "runs_dir", None)
+        else default_runs_dir()
     )
+    if not runs_dir.is_dir():
+        return None
+    candidates = sorted(
+        runs_dir.glob("*/telemetry.jsonl"),
+        key=lambda path: (path.stat().st_mtime, path),
+    )
+    return candidates[-1] if candidates else None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -231,6 +300,41 @@ def main(argv: list[str] | None = None) -> int:
     cache_parser.add_argument("--artifacts-dir", default=None,
                               help="artifact store directory (default: "
                                    "<cache-dir>/artifacts or REPRO_ARTIFACT_DIR)")
+    cache_parser.add_argument("--runs-dir", default=None,
+                              help="run-journal directory searched for the "
+                                   "latest telemetry sidecar (default: "
+                                   "REPRO_RUNS_DIR or ./runs)")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one experiment serially under the sim tracer and print "
+             "the event-kernel hot-path table",
+    )
+    profile_parser.add_argument("experiment", help="e.g. T2 or t2_usage")
+    profile_parser.add_argument("--days", type=float, default=None,
+                                help="override the simulated horizon")
+    profile_parser.add_argument("--seed", type=int, default=None,
+                                help="override the master seed")
+    profile_parser.add_argument("--top", type=int, default=10, metavar="N",
+                                help="rows per ranking table (default: 10)")
+    profile_parser.add_argument("--chrome", default=None, metavar="FILE",
+                                help="also write Chrome trace-event JSON "
+                                     "(open in chrome://tracing or Perfetto)")
+    profile_parser.add_argument("--span-cap", type=int, default=None,
+                                metavar="N",
+                                help="per-process span retention cap; "
+                                     "aggregates are never capped")
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="render a run's telemetry sidecar (default: the latest run)",
+    )
+    stats_parser.add_argument("sidecar", nargs="?", default=None,
+                              help="path to a telemetry.jsonl (default: the "
+                                   "newest one under the runs dir)")
+    stats_parser.add_argument("--runs-dir", default=None,
+                              help="run-journal directory (default: "
+                                   "REPRO_RUNS_DIR or ./runs)")
 
     args = parser.parse_args(argv)
 
@@ -303,6 +407,61 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  !! {violation}")
         return 0 if report.ok else 1
 
+    if args.command == "profile":
+        from repro.obs import (
+            chrome_trace_from_tracer,
+            profile_experiment,
+            render_hot_path_table,
+            resolve_experiment_id,
+            write_chrome_trace,
+        )
+
+        try:
+            experiment_id = resolve_experiment_id(args.experiment)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        knobs = {}
+        if args.days is not None:
+            knobs["days"] = args.days
+        if args.seed is not None:
+            knobs["seed"] = args.seed
+        extra = {"span_cap": args.span_cap} if args.span_cap is not None else {}
+        tracer = profile_experiment(experiment_id, knobs, **extra)
+        print(render_hot_path_table(tracer, top=args.top), end="")
+        if args.chrome:
+            path = write_chrome_trace(
+                chrome_trace_from_tracer(tracer), args.chrome
+            )
+            print(f"[chrome trace written to {path}]", file=sys.stderr)
+        return 0
+
+    if args.command == "stats":
+        from repro.obs import read_sidecar, render_stats, sidecar_summary
+
+        path = args.sidecar or _latest_sidecar(args)
+        if path is None:
+            print(
+                "no telemetry sidecar found: pass a path, or produce one "
+                "with run/run-all --trace (run-all also writes one next to "
+                "its journal)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            records = read_sidecar(path)
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"sidecar: {path}")
+        print(
+            render_stats(
+                sidecar_summary(records), run_id=records[0].get("run_id")
+            ),
+            end="",
+        )
+        return 0
+
     if args.command == "cache":
         from repro.runner import ArtifactStore, ResultCache
 
@@ -321,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"quarantined:  {len(store.quarantined_entries())}")
             print(f"artifact size: {store.size_bytes()} bytes")
             print(f"code version: {store.version}")
+            _print_last_run_rates(args)
         elif args.action == "gc":
             store = ArtifactStore(root=_artifact_root(args))
             removed = store.gc()
@@ -378,7 +538,12 @@ def main(argv: list[str] | None = None) -> int:
                 resume_keys = journal.completed_keys()
             elif not args.no_journal:
                 journal = RunJournal.create(runs_dir)
-            runner = _build_runner(args, journal=journal, resume_keys=resume_keys)
+            runner = _build_runner(
+                args,
+                journal=journal,
+                resume_keys=resume_keys,
+                run_id=journal.run_id if journal is not None else None,
+            )
         except (ValueError, FileNotFoundError) as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -427,6 +592,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.timings:
             _print_timings(runner)
+        if journal is not None:
+            _write_sidecar(runner, journal.path.parent / "telemetry.jsonl")
+        if args.trace:
+            _write_sidecar(runner, args.trace)
         for failure in runner.failures:
             print(f"[task failed] {failure.experiment_id}: {failure.describe()}",
                   file=sys.stderr)
@@ -455,6 +624,7 @@ def main(argv: list[str] | None = None) -> int:
         args.jobs is not None or args.no_cache or args.cache_dir is not None
         or args.task_timeout is not None or args.no_artifacts
         or args.artifacts_dir is not None or args.timings
+        or args.trace is not None
     )
     try:
         if use_runner:
@@ -462,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
             output = runner.run(args.experiment_id.upper(), **knobs)
             if args.timings:
                 _print_timings(runner)
+            if args.trace:
+                _write_sidecar(runner, args.trace)
             if runner.failures:
                 print(output)
                 for failure in runner.failures:

@@ -1,0 +1,178 @@
+"""Chrome trace-event JSON exporter for both trace domains.
+
+Produces the ``chrome://tracing`` / Perfetto "JSON Object Format": a dict
+with a ``traceEvents`` list of complete events (``"ph": "X"``, timestamps
+in microseconds).  Two kinds of input map onto it:
+
+* sim-domain process spans from a :class:`~repro.obs.trace.SimTracer` —
+  one track (``tid``) per process type, with one simulated second rendered
+  as one trace microsecond so multi-day campaigns stay navigable;
+* wall-domain span records from a telemetry sidecar — real wall-clock,
+  re-based so the earliest span starts at ``ts == 0``.
+
+The exporter is a sink for diagnostics only; nothing under ``results/``
+reads it.  :func:`validate_chrome_trace` is the schema check the test
+suite and the CI telemetry job run over exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "chrome_trace_from_sidecar",
+    "chrome_trace_from_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Phases we emit / accept: complete spans, instant events, metadata.
+_KNOWN_PHASES = {"X", "i", "I", "M"}
+
+#: One simulated second becomes one trace microsecond — campaigns span
+#: simulated weeks, and viewers choke on 10^12-microsecond extents.
+_SIM_SECONDS_TO_US = 1.0
+
+
+def chrome_trace_from_tracer(tracer, pid: int = 1) -> dict:
+    """Render a :class:`SimTracer`'s process spans as a Chrome trace."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "sim-time"},
+        }
+    ]
+    tids: dict[str, int] = {}
+    for kind, name, start, end in tracer.process_spans:
+        tid = tids.setdefault(kind, len(tids) + 1)
+        events.append(
+            {
+                "name": name,
+                "cat": kind,
+                "ph": "X",
+                "ts": start * _SIM_SECONDS_TO_US,
+                # Open spans (process still alive at teardown) render as
+                # zero-length rather than stretching to infinity.
+                "dur": ((end - start) if end is not None else 0.0)
+                * _SIM_SECONDS_TO_US,
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+    for kind, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": kind},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"domain": "sim", "events_total": tracer.events_total},
+    }
+
+
+def chrome_trace_from_sidecar(records: list[dict], pid: int = 2) -> dict:
+    """Render a telemetry sidecar's wall spans/events as a Chrome trace."""
+    spans = [r for r in records if r.get("type") == "span"]
+    points = [r for r in records if r.get("type") == "event"]
+    starts = [r["start"] for r in spans] + [r["at"] for r in points]
+    epoch = min(starts) if starts else 0.0
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "wall-time"},
+        }
+    ]
+    for record in spans:
+        args = {
+            key: value
+            for key, value in record.items()
+            if key not in ("type", "name", "start", "duration")
+        }
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "wall",
+                "ph": "X",
+                "ts": (record["start"] - epoch) * 1e6,
+                "dur": record["duration"] * 1e6,
+                "pid": pid,
+                "tid": int(record.get("worker", 0)),
+                "args": args,
+            }
+        )
+    for record in points:
+        args = {
+            key: value
+            for key, value in record.items()
+            if key not in ("type", "name", "at")
+        }
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "wall",
+                "ph": "i",
+                "s": "g",
+                "ts": (record["at"] - epoch) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"domain": "wall"},
+    }
+
+
+def write_chrome_trace(trace: dict, path: Path | str) -> Path:
+    validate_chrome_trace(trace)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Trace-event JSON schema check (raises ``ValueError``)."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}]: not an object")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            raise ValueError(f"traceEvents[{index}]: unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{index}]: missing event name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(
+                    f"traceEvents[{index}]: non-integer {field!r}"
+                )
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{index}]: non-numeric 'ts'")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(
+                    f"traceEvents[{index}]: complete event needs 'dur' >= 0"
+                )

@@ -56,6 +56,7 @@ __all__ = [
     "default_artifact_dir",
     "ensure_active_store",
     "in_campaign_stage",
+    "record_metrics",
     "stats_snapshot",
     "stats_delta",
 ]
@@ -107,6 +108,21 @@ def stats_delta(before: tuple) -> dict:
         if now != then:
             delta[name] = now - then
     return delta
+
+
+def record_metrics(metrics, delta: dict) -> None:
+    """Fold one process's counter delta into a metrics registry.
+
+    ``metrics`` is duck-typed (``repro.obs.metrics.MetricsRegistry``) so this
+    module keeps zero obs imports.  Counts land on ``artifacts.*`` counters;
+    ``load_seconds`` is observed as one histogram sample per delta (its
+    total is exact, its sample count is per-report, not per-load).
+    """
+    for name, amount in delta.items():
+        if name == "load_seconds":
+            metrics.histogram("artifacts.load_seconds").observe(amount)
+        else:
+            metrics.counter(f"artifacts.{name}").inc(amount)
 
 
 # -- active-store plumbing -----------------------------------------------------

@@ -52,10 +52,11 @@ from repro.experiments.base import (
 from repro.runner.artifacts import (
     ArtifactStore,
     activated_store,
+    record_metrics,
     stats_delta,
     stats_snapshot,
 )
-from repro.runner.cache import ResultCache
+from repro.runner.cache import CacheStats, ResultCache
 from repro.runner.journal import RunJournal, task_key
 from repro.runner.retry import (
     FAILURE_EXCEPTION,
@@ -125,6 +126,8 @@ class ParallelRunner:
         resume_keys: Iterable[str] = (),
         max_pool_deaths: int = MAX_POOL_DEATHS,
         artifacts: Optional[ArtifactStore] = None,
+        telemetry=None,
+        trace_sim: bool = False,
     ) -> None:
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
@@ -139,6 +142,24 @@ class ParallelRunner:
         self.max_pool_deaths = max(1, int(max_pool_deaths))
         #: campaign artifact store; None disables the two-stage task DAG
         self.artifacts = artifacts
+        #: wall-domain recorder (repro.obs.telemetry.Telemetry, duck-typed);
+        #: strictly off the report path — None disables every hook
+        self.telemetry = telemetry
+        #: trace each task's simulations (inline or in workers) and record
+        #: the deterministic sim-domain summary per task in the sidecar
+        self.trace_sim = bool(trace_sim) and telemetry is not None
+        if self.telemetry is not None and self.cache is not None:
+            # Re-home the cache counters onto the run-wide registry so the
+            # sidecar's metrics snapshot includes ``cache.*`` (any values
+            # already accumulated carry over).
+            stats = self.cache.stats
+            self.cache.stats = CacheStats(
+                hits=stats.hits,
+                misses=stats.misses,
+                writes=stats.writes,
+                quarantined=stats.quarantined,
+                metrics=self.telemetry.metrics,
+            )
         # -- per-runner telemetry (surfaced on stderr by the CLI) --
         self.failures: list[TaskFailure] = []
         self.degraded_tasks: list[str] = []
@@ -182,14 +203,21 @@ class ParallelRunner:
         stats_before = stats_snapshot()
         with activated_store(self.artifacts):
             started = time.monotonic()
+            wall_started = time.time()
             plans: list[list[ExperimentTask]] = [
                 plan_tasks(experiment_id, **knobs)
                 for experiment_id, knobs in requests
             ]
             self.stage_seconds["plan"] = time.monotonic() - started
+            self._tel_span(
+                "stage:plan", wall_started, self.stage_seconds["plan"],
+                tasks=sum(len(tasks) for tasks in plans),
+            )
             all_tasks = [task for tasks in plans for task in tasks]
             partials = self._execute(all_tasks)
         self._absorb_artifact_stats(stats_delta(stats_before))
+        if self.telemetry is not None:
+            self.telemetry.finish(self)
 
         outputs = []
         cursor = 0
@@ -220,6 +248,11 @@ class ParallelRunner:
                     resumed = key in self.resume_keys
                     if resumed:
                         self.resume_skipped += 1
+                    self._tel_event(
+                        "cache-hit", key=key,
+                        experiment=task.experiment_id, resumed=resumed,
+                    )
+                    self._tel_count("runner.cache_hits")
                     self._journal(
                         "task-completed", task, key,
                         attempts=0, cached=True, resumed=resumed,
@@ -229,17 +262,26 @@ class ParallelRunner:
 
         if pending and self.artifacts is not None:
             started = time.monotonic()
+            wall_started = time.time()
             self._campaign_stage(pending)
             self.stage_seconds["campaign"] = time.monotonic() - started
+            self._tel_span(
+                "stage:campaign", wall_started, self.stage_seconds["campaign"]
+            )
 
         if pending:
             started = time.monotonic()
+            wall_started = time.time()
             if self.jobs == 1:
                 for position, task in pending:
                     self._run_inline(position, task, sink)
             else:
                 self._run_pool(pending, sink)
             self.stage_seconds["measure"] = time.monotonic() - started
+            self._tel_span(
+                "stage:measure", wall_started, self.stage_seconds["measure"],
+                tasks=len(pending),
+            )
         return [sink[position] for position in range(len(tasks))]
 
     # -- stage 1: the campaign tasks ------------------------------------------
@@ -269,6 +311,8 @@ class ParallelRunner:
         for key in keys:
             if self.artifacts.has(key):
                 self.campaign_stats["reused"] += 1
+                self._tel_event("campaign-dedup", campaign=key.asdict())
+                self._tel_count("runner.campaigns_reused")
             else:
                 todo.append(key)
         if not todo:
@@ -297,8 +341,10 @@ class ParallelRunner:
         for value in stage_sink.values():
             if isinstance(value, dict) and value.get("simulated"):
                 self.campaign_stats["simulated"] += 1
+                self._tel_count("runner.campaigns_simulated")
             elif isinstance(value, dict):
                 self.campaign_stats["reused"] += 1
+                self._tel_count("runner.campaigns_reused")
 
     # -- inline (jobs=1) path -------------------------------------------------
     def _run_inline(self, position: int, task: ExperimentTask, sink: dict) -> None:
@@ -314,12 +360,20 @@ class ParallelRunner:
         while True:
             attempt += 1
             self._journal("task-started", task, key, attempt=attempt, mode="inline")
+            wall_started = time.time()
             try:
                 with wall_clock_limit(timeout):
-                    value = execute_task(task)
+                    value = self._execute_traced(task, key)
             except TaskTimeout as exc:
+                self._tel_event(
+                    "timeout", key=key, attempt=attempt, mode="inline"
+                )
                 if self.retry.should_retry(FAILURE_TIMEOUT, attempt):
                     self.retries += 1
+                    self._tel_event(
+                        "retry", key=key, kind=FAILURE_TIMEOUT, attempt=attempt
+                    )
+                    self._tel_count("runner.retries")
                     time.sleep(self.retry.delay(key, attempt))
                     continue
                 value = self._failure(task, FAILURE_TIMEOUT, attempt, message=str(exc))
@@ -328,8 +382,30 @@ class ParallelRunner:
                     task, FAILURE_EXCEPTION, attempt,
                     error_type=type(exc).__name__, message=str(exc),
                 )
+            self._tel_span(
+                "task", wall_started, time.time() - wall_started,
+                key=key, experiment=task.experiment_id, mode="inline",
+                attempt=attempt,
+                status="failed" if isinstance(value, TaskFailure) else "ok",
+            )
             self._complete(position, task, key, value, attempts=attempt, sink=sink)
             return
+
+    def _execute_traced(self, task: ExperimentTask, key: str):
+        """Execute in-process, recording the sim slice when tracing is on.
+
+        Mirrors the worker-side ``trace_sim`` path: a fresh tracer per
+        execution, and only completed executions report (a partial trace
+        from a timeout would not be seed-stable).
+        """
+        if not self.trace_sim:
+            return execute_task(task)
+        from repro.obs.trace import traced_simulation
+
+        with traced_simulation() as tracer:
+            value = execute_task(task)
+        self._tel_sim_summary(key, tracer.sim_summary())
+        return value
 
     # -- pool path -------------------------------------------------------------
     def _run_pool(
@@ -355,6 +431,8 @@ class ParallelRunner:
                     self._kill_pool(pool)
                     pool = None
                     self.pool_deaths += 1
+                    self._tel_event("pool-death", count=self.pool_deaths)
+                    self._tel_count("runner.pool_deaths")
                 if requeue:
                     self.retries += len(requeue)
                     # One deterministic backoff per round: the longest of the
@@ -402,6 +480,7 @@ class ParallelRunner:
                     if self.artifacts is not None
                     else None
                 ),
+                trace_sim=self.trace_sim,
             )
             try:
                 future = pool.submit(run_task_hardened, spec)
@@ -465,7 +544,14 @@ class ParallelRunner:
     ) -> None:
         key = self._key(task)
         self._absorb_artifact_stats(getattr(outcome, "artifact_stats", None))
+        if getattr(outcome, "started_at", 0.0):
+            self._tel_span(
+                "task", outcome.started_at, outcome.elapsed,
+                key=key, experiment=task.experiment_id, mode="pool",
+                attempt=attempt, status=outcome.status,
+            )
         if outcome.status == OUTCOME_OK:
+            self._tel_sim_summary(key, getattr(outcome, "sim_summary", None))
             self._complete(position, task, key, outcome.value,
                            attempts=attempt, sink=sink)
         elif outcome.status == OUTCOME_TIMEOUT:
@@ -483,7 +569,15 @@ class ParallelRunner:
     def _note_transient(self, entries, requeue, sink, kind, message) -> None:
         """Route transient failures: retry if budget remains, else degrade."""
         for position, task, attempt in entries:
+            if kind == FAILURE_TIMEOUT:
+                self._tel_event(
+                    "timeout", key=self._key(task), attempt=attempt, mode="pool"
+                )
             if self.retry.should_retry(kind, attempt):
+                self._tel_event(
+                    "retry", key=self._key(task), kind=kind, attempt=attempt
+                )
+                self._tel_count("runner.retries")
                 requeue.append((position, task, attempt))
             else:
                 self._degrade(
@@ -503,10 +597,13 @@ class ParallelRunner:
         """
         key = self._key(task)
         self.degraded_tasks.append(key)
+        self._tel_event("degraded", key=key, kind=kind or "", attempt=attempt)
+        self._tel_count("runner.degraded")
         self._journal("task-started", task, key, attempt=attempt, mode="degraded")
+        wall_started = time.time()
         try:
             with wall_clock_limit(self._timeout_for(task)):
-                value = execute_task(task)
+                value = self._execute_traced(task, key)
         except TaskTimeout as exc:
             value = self._failure(task, FAILURE_TIMEOUT, attempt, message=str(exc))
         except Exception as exc:
@@ -514,6 +611,12 @@ class ParallelRunner:
                 task, FAILURE_EXCEPTION, attempt,
                 error_type=type(exc).__name__, message=str(exc),
             )
+        self._tel_span(
+            "task", wall_started, time.time() - wall_started,
+            key=key, experiment=task.experiment_id, mode="degraded",
+            attempt=attempt,
+            status="failed" if isinstance(value, TaskFailure) else "ok",
+        )
         self._complete(
             position, task, key, value, attempts=attempt, sink=sink, degraded=True
         )
@@ -530,8 +633,10 @@ class ParallelRunner:
         only incomplete tasks.
         """
         sink[position] = value
+        self._tel_count("runner.tasks_completed")
         if isinstance(value, TaskFailure):
             self.failures.append(value)
+            self._tel_count("runner.tasks_failed")
             self._journal(
                 "task-failed", task, key,
                 attempts=attempts, kind=value.kind,
@@ -588,6 +693,25 @@ class ParallelRunner:
         self.campaign_stats["fallbacks"] += delta.get("fallbacks", 0)
         self.campaign_stats["loads"] += delta.get("loads", 0)
         self.campaign_stats["load_seconds"] += delta.get("load_seconds", 0.0)
+        if self.telemetry is not None:
+            record_metrics(self.telemetry.metrics, delta)
+
+    # -- telemetry hooks (no-ops without a recorder attached) -------------------
+    def _tel_event(self, name: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(name, **fields)
+
+    def _tel_span(self, name: str, start: float, duration: float, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.add_span(name, start, duration, **fields)
+
+    def _tel_count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount)
+
+    def _tel_sim_summary(self, key: str, summary: Optional[dict]) -> None:
+        if self.telemetry is not None and summary:
+            self.telemetry.add_task_sim_summary(key, summary)
 
     def _key(self, task: ExperimentTask) -> str:
         return task_key(task.experiment_id, task.params, task.seed)

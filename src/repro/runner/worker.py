@@ -38,6 +38,8 @@ class WorkerSpec:
     task_key: str  # stable identity for chaos/backoff derivations
     #: campaign artifact store root; None = two-stage mode disabled
     artifact_dir: Optional[str] = None
+    #: trace the task's simulations and ship the sim-domain summary back
+    trace_sim: bool = False
 
 
 @dataclass(frozen=True)
@@ -50,9 +52,15 @@ class WorkerOutcome:
     message: str = ""
     traceback: str = ""
     elapsed: float = 0.0
+    #: wall-clock epoch when the worker picked the task up — lets the driver
+    #: place this execution's span on the run timeline (telemetry only)
+    started_at: float = 0.0
     #: artifact-store counter deltas from this execution (loads, load
     #: seconds, simulations, fallbacks, ...); empty/None = nothing happened
     artifact_stats: Optional[dict] = None
+    #: deterministic sim-tracer slice of this execution (``trace_sim`` only);
+    #: a pure function of the task, so identical at any ``--jobs`` value
+    sim_summary: Optional[dict] = None
 
 
 def run_task(task) -> Any:
@@ -70,6 +78,7 @@ def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
     from repro.runner.chaos import chaos_from_env
 
     started = time.monotonic()
+    started_wall = time.time()
     chaos = chaos_from_env()
     if spec.artifact_dir is not None:
         # Activate (or reuse) this process's artifact store so campaign()
@@ -77,18 +86,29 @@ def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
         # persist for the life of the worker.
         artifact_mod.ensure_active_store(spec.artifact_dir)
     stats_before = artifact_mod.stats_snapshot()
+    sim_summary = None
     try:
         with wall_clock_limit(spec.timeout):
             if chaos.active:
                 # May os._exit (kill) or sleep (hang) — inside the limit, so
                 # an injected hang surfaces as an ordinary task timeout.
                 chaos.pre_task(spec.task_key, spec.attempt)
-            value = run_task(spec.task)
+            if spec.trace_sim:
+                from repro.obs.trace import traced_simulation
+
+                with traced_simulation() as tracer:
+                    value = run_task(spec.task)
+                # Only completed executions report: a partial trace from an
+                # interrupted task would not be seed-stable.
+                sim_summary = tracer.sim_summary()
+            else:
+                value = run_task(spec.task)
     except TaskTimeout as exc:
         return WorkerOutcome(
             status=OUTCOME_TIMEOUT,
             message=str(exc),
             elapsed=time.monotonic() - started,
+            started_at=started_wall,
             artifact_stats=artifact_mod.stats_delta(stats_before),
         )
     except BaseException as exc:  # the task's own failure: record, never retry
@@ -98,11 +118,14 @@ def run_task_hardened(spec: WorkerSpec) -> WorkerOutcome:
             message=str(exc),
             traceback=traceback.format_exc(),
             elapsed=time.monotonic() - started,
+            started_at=started_wall,
             artifact_stats=artifact_mod.stats_delta(stats_before),
         )
     return WorkerOutcome(
         status=OUTCOME_OK,
         value=value,
         elapsed=time.monotonic() - started,
+        started_at=started_wall,
         artifact_stats=artifact_mod.stats_delta(stats_before),
+        sim_summary=sim_summary,
     )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
+from time import perf_counter
 from typing import Any, Generator, Optional
 
 from repro.sim.process import (
@@ -15,7 +16,36 @@ from repro.sim.process import (
     Timeout,
 )
 
-__all__ = ["Simulator", "SimulationError", "StopSimulation"]
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "default_tracer",
+    "set_default_tracer",
+]
+
+# The kernel's tracer slot.  `repro.sim` must stay importable without
+# `repro.obs`, so the tracer is duck-typed: anything with the
+# on_schedule/on_event/on_resume/on_process_start/on_process_end methods of
+# `repro.obs.trace.SimTracer` works.  With no tracer installed the run loop
+# pays one `is None` check per step.
+_default_tracer = None
+
+
+def set_default_tracer(tracer) -> None:
+    """Install ``tracer`` on every subsequently constructed :class:`Simulator`.
+
+    Pass ``None`` to uninstall.  Diagnostics-only: simulators on the report
+    path run untraced unless `repro profile`/the benchmark harness wraps
+    them (see :func:`repro.obs.trace.traced_simulation`).
+    """
+    global _default_tracer
+    _default_tracer = tracer
+
+
+def default_tracer():
+    """The currently installed default tracer (``None`` when untraced)."""
+    return _default_tracer
 
 
 class SimulationError(RuntimeError):
@@ -34,11 +64,12 @@ class Simulator:
     arbitrary units; the TeraGrid substrate uses seconds.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, tracer=None) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._tracer = tracer if tracer is not None else _default_tracer
 
     # -- introspection -------------------------------------------------------
     @property
@@ -88,6 +119,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, priority, next(self._eid), event))
+        if self._tracer is not None:
+            self._tracer.on_schedule(len(self._heap))
 
     # -- run loop ----------------------------------------------------------------
     def step(self) -> None:
@@ -96,7 +129,15 @@ class Simulator:
             raise SimulationError("step() on an empty event heap")
         when, _priority, _eid, event = heapq.heappop(self._heap)
         self._now = when
-        event._run_callbacks()
+        tracer = self._tracer
+        if tracer is None:
+            event._run_callbacks()
+        else:
+            started = perf_counter()
+            try:
+                event._run_callbacks()
+            finally:
+                tracer.on_event(event, when, perf_counter() - started)
         if not event.ok and not event.defused:
             raise event.value
 

@@ -189,6 +189,11 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # Duck-typed tracer slot (see repro.sim.engine): the kernel must not
+        # import repro.obs, so hooks guard on the simulator's attribute.
+        tracer = getattr(sim, "_tracer", None)
+        if tracer is not None:
+            tracer.on_process_start(self, sim.now)
         Initialize(sim, self)
 
     @property
@@ -224,6 +229,9 @@ class Process(Event):
                     pass
         self._target = None
         self.sim._active_process = self
+        tracer = getattr(self.sim, "_tracer", None)
+        if tracer is not None:
+            tracer.on_resume(self, self.sim.now)
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
@@ -232,10 +240,14 @@ class Process(Event):
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             self.sim._active_process = None
+            if tracer is not None:
+                tracer.on_process_end(self, self.sim.now)
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self.sim._active_process = None
+            if tracer is not None:
+                tracer.on_process_end(self, self.sim.now)
             self.fail(exc)
             return
         self.sim._active_process = None

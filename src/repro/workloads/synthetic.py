@@ -39,6 +39,7 @@ from repro.infra.resilience import OutagePolicy, SiteOutageInjector
 from repro.infra.scheduler.base import BatchScheduler
 from repro.infra.scheduler.backfill import EasyBackfillScheduler
 from repro.infra.units import DAY, HOUR, MINUTE
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import RandomStreams, Simulator
 from repro.users.behavior import (
     RecoveryPolicy,
@@ -181,6 +182,10 @@ class ScenarioResult:
     amie_endpoint: Optional[AmieIngestEndpoint] = None
     #: end-of-run audit outcome (None = lossless run)
     reconciliation: Optional[ReconciliationReport] = None
+    #: the run-wide metric namespace every component registered into
+    #: (``ingest.*``, ``gateway.*``, ``resilience.*``, ``amie.*``); None only
+    #: for results constructed by hand in tests
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def records(self) -> list[UsageRecord]:
@@ -248,6 +253,10 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
     ledger = infra.AllocationLedger()
     central = CentralAccountingDB()
     network = infra.Network(sim)
+    # One metric namespace per run: every component below registers its
+    # counters here, so the oracle (and the telemetry sidecar) read the same
+    # cells the components mutate.
+    metrics = MetricsRegistry()
 
     # A disabled regime takes the plain lossless path below — not merely an
     # equivalent-looking one: the resilient feed schedules extra simulator
@@ -255,7 +264,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
     endpoint = None
     recovery = None
     if config.faulty_ingest:
-        endpoint = AmieIngestEndpoint(central)
+        endpoint = AmieIngestEndpoint(central, metrics=metrics)
         recovery = (
             config.ingest_recovery
             if config.ingest_recovery is not None
@@ -278,6 +287,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
                     policy=_recovery,
                     rng=streams.stream(f"amie:{_name}"),
                     interval=config.amie_interval,
+                    metrics=metrics,
                 )
         provider = infra.ResourceProvider(
             sim,
@@ -315,6 +325,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
             tagging_coverage=config.gateway_tagging_coverage,
             sim=sim,
             max_backlog=config.gateway_backlog,
+            metrics=metrics,
         )
         for name, (community_user, account) in population.community_accounts.items()
     }
@@ -329,6 +340,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
                 streams.stream(f"outage:{provider.name}"),
                 policy=config.outages,
                 metascheduler=meta,
+                metrics=metrics,
             )
             for provider in providers
         ]
@@ -371,6 +383,7 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         injectors=injectors,
         amie_endpoint=endpoint,
         reconciliation=reconciliation,
+        metrics=metrics,
     )
 
 
@@ -495,11 +508,15 @@ class CampaignArtifact:
     community_accounts: frozenset[str]
     total_nu: float
     transfers: tuple[TransferSummary, ...]
+    #: deterministic registry snapshot (:meth:`MetricsRegistry.as_dict`) taken
+    #: at extraction time; empty for hand-built results with no registry
+    metric_snapshot: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(
         cls, result: ScenarioResult, key: Optional[CampaignKey] = None
     ) -> "CampaignArtifact":
+        registry = getattr(result, "metrics", None)
         return cls(
             key=key,
             records=result.records,
@@ -518,6 +535,7 @@ class CampaignArtifact:
                 )
                 for t in result.network.completed_transfers
             ),
+            metric_snapshot=registry.as_dict() if registry is not None else {},
         )
 
     # -- the ScenarioResult measurement surface ------------------------------

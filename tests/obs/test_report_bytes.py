@@ -1,0 +1,94 @@
+"""The byte-identity contract: telemetry never touches report bytes.
+
+These are the CI-enforced guarantees from the observability design: a report
+produced with tracing on is byte-identical to one produced with tracing off,
+at any ``--jobs`` value, and the sim-time slice of the telemetry is stable
+across worker counts.
+"""
+
+from repro.__main__ import main
+from repro.obs.telemetry import read_sidecar, sidecar_summary, validate_sidecar
+
+
+def _run_all(tmp_path, name, *extra):
+    target = tmp_path / name
+    code = main(
+        ["run-all", "--fast", "--only", "R1", "--out", str(target),
+         "--no-cache", "--no-journal", *extra]
+    )
+    assert code == 0
+    return target
+
+
+def test_report_bytes_identical_with_tracing_on_and_off(tmp_path, capsys):
+    untraced = _run_all(tmp_path, "untraced.txt", "--jobs", "1")
+    traced = _run_all(
+        tmp_path, "traced.txt", "--jobs", "1", "--timings",
+        "--trace", str(tmp_path / "trace.jsonl"),
+    )
+    capsys.readouterr()
+    assert traced.read_bytes() == untraced.read_bytes()
+
+
+def test_report_bytes_identical_traced_across_jobs(tmp_path, capsys):
+    serial = _run_all(
+        tmp_path, "serial.txt", "--jobs", "1",
+        "--trace", str(tmp_path / "serial.jsonl"),
+    )
+    parallel = _run_all(
+        tmp_path, "parallel.txt", "--jobs", "2",
+        "--trace", str(tmp_path / "parallel.jsonl"),
+    )
+    capsys.readouterr()
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_trace_flag_writes_a_valid_sidecar(tmp_path, capsys):
+    from repro.experiments.base import _campaign_cache
+
+    _campaign_cache.clear()  # memoized campaigns would trace zero sim events
+    sidecar = tmp_path / "trace.jsonl"
+    _run_all(tmp_path, "report.txt", "--jobs", "1", "--trace", str(sidecar))
+    captured = capsys.readouterr()
+    assert f"telemetry sidecar written to {sidecar}" in captured.err
+
+    records = read_sidecar(sidecar)
+    validate_sidecar(records)
+    summary = sidecar_summary(records)
+    # R1 fast = 3 replicate tasks, each traced and recorded.
+    assert summary["metrics"]["runner.tasks_completed"] == 3
+    task_spans = [r for r in records if r["type"] == "span" and r["name"] == "task"]
+    assert len(task_spans) == 3
+    sim_summaries = [r for r in records if r.get("domain") == "sim"]
+    assert len(sim_summaries) == 3
+    assert all(record["events_total"] > 0 for record in sim_summaries)
+
+
+def test_sim_domain_telemetry_is_jobs_independent(tmp_path, capsys):
+    """Worker count may reshape wall-time, never the sim-time slice.
+
+    Each task's sim-domain summary is a pure function of the task: the
+    per-task records shipped back from four pool workers must equal the
+    ones the inline (``--jobs 1``) path recorded, key for key.
+    """
+    from repro.experiments.base import _campaign_cache
+
+    for jobs, name in (("1", "serial.jsonl"), ("4", "parallel.jsonl")):
+        # Drop the in-process campaign memo so both legs (and the workers
+        # forked for the parallel one) simulate from the same cold start.
+        _campaign_cache.clear()
+        _run_all(tmp_path, f"report-{jobs}.txt", "--jobs", jobs,
+                 "--trace", str(tmp_path / name))
+    capsys.readouterr()
+
+    def sim_records(path):
+        records = [
+            record for record in read_sidecar(path)
+            if record.get("domain") == "sim"
+        ]
+        return sorted(records, key=lambda record: record["task"])
+
+    serial = sim_records(tmp_path / "serial.jsonl")
+    parallel = sim_records(tmp_path / "parallel.jsonl")
+    assert len(serial) == 3  # R1 fast = 3 replicate tasks, all traced
+    assert serial == parallel

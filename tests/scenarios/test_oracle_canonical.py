@@ -37,6 +37,7 @@ def test_every_invariant_family_ran(canonical):
         "records",
         "classifier",
         "lost_work",
+        "metrics",
     }
     assert all(report.checks.values())
 

@@ -301,3 +301,73 @@ def test_run_command_accepts_timings_flag(tmp_path, capsys):
     assert "R1" in captured.out
     assert "[timings:" in captured.err
     assert "[campaigns:" in captured.err
+
+
+# -- observability: profile / stats / cache hit rates ---------------------------
+
+def test_profile_prints_hot_path_table_and_chrome_trace(tmp_path, capsys):
+    from repro.obs import validate_chrome_trace
+
+    chrome = tmp_path / "trace.json"
+    code = main(["profile", "t2_usage", "--days", "2", "--top", "5",
+                 "--chrome", str(chrome)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "event kernel hot paths" in captured.out
+    assert "top event types" in captured.out
+    assert "top process types" in captured.out
+    assert f"[chrome trace written to {chrome}]" in captured.err
+
+    import json
+    validate_chrome_trace(json.loads(chrome.read_text()))
+
+
+def test_profile_unknown_experiment_fails(capsys):
+    assert main(["profile", "nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_stats_renders_the_latest_sidecar(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    capsys.readouterr()
+    assert main(["stats", "--runs-dir", str(tmp_path / "runs")]) == 0
+    out = capsys.readouterr().out
+    assert "sidecar:" in out
+    assert "run statistics" in out
+    assert "stage wall-clock:" in out
+    assert "result cache:" in out
+    assert "metrics registry:" in out
+
+
+def test_stats_without_any_sidecar_fails_cleanly(tmp_path, capsys):
+    assert main(["stats", "--runs-dir", str(tmp_path / "nothing")]) == 2
+    assert "no telemetry sidecar" in capsys.readouterr().err
+
+
+def test_cache_stats_surfaces_last_run_hit_rate(tmp_path, capsys):
+    code, _ = _run_all(tmp_path, "first.txt", "--jobs", "1")
+    assert code == 0
+    code, _ = _run_all(tmp_path, "second.txt", "--jobs", "1")
+    assert code == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache"),
+                 "--runs-dir", str(tmp_path / "runs")]) == 0
+    out = capsys.readouterr().out
+    # The second run served everything from the result cache, so the
+    # campaign stage never ran and only the hit-rate line appears.
+    assert "last run:     3 hits, 0 misses (100.0% hit rate)" in out
+
+
+def test_run_all_writes_sidecar_next_to_the_journal(tmp_path, capsys):
+    from repro.obs import read_sidecar, sidecar_summary
+
+    code, _ = _run_all(tmp_path, "report.txt", "--jobs", "1")
+    assert code == 0
+    assert "telemetry sidecar written to" in capsys.readouterr().err
+    (sidecar,) = (tmp_path / "runs").glob("*/telemetry.jsonl")
+    records = read_sidecar(sidecar)
+    assert records[0]["run_id"] == sidecar.parent.name
+    summary = sidecar_summary(records)
+    # 3 campaign-stage pseudo-tasks + 3 measurement tasks.
+    assert summary["metrics"]["runner.tasks_completed"] == 6
