@@ -1,0 +1,137 @@
+"""Bench: the scale tier — population x shards sweep + kernel wheel check.
+
+Sweeps the campaign population against the unsharded coupled baseline and
+the cell-decomposed sharded path, recording wall-clock and deterministic
+sim-event throughput per leg into ``results/BENCH_shard_scaling.json``
+(the machine-readable convention of the other benches).  In-process the
+cells run serially, so every speedup recorded here is *algorithmic* —
+decoupling the shared heap and the O(population) per-event scans — not
+parallelism; ``--jobs`` multiplies it on multi-core hosts.
+"""
+
+import os
+import time
+
+from conftest import _write_bench_json
+
+SEED = 9
+DAYS = 2.0
+SCALES = (0.05, 0.2, 0.5)  # canonical, 4x, 10x population
+
+
+def _timed(fn):
+    from repro.obs import traced_simulation
+
+    with traced_simulation() as tracer:
+        started = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - started
+    return result, wall, tracer.events_total
+
+
+def test_shard_scaling():
+    from repro.users.population import PopulationSpec
+    from repro.workloads.sharding import cell_count, run_scenario_sharded
+    from repro.workloads.synthetic import ScenarioConfig, run_scenario
+
+    rows = []
+    for scale in SCALES:
+        config = ScenarioConfig(
+            days=DAYS, seed=SEED, population=PopulationSpec(scale=scale)
+        )
+        _, legacy_wall, legacy_events = _timed(lambda: run_scenario(config))
+        for shards in (1, 4):
+            artifact, wall, events = _timed(
+                lambda: run_scenario_sharded(config, shards=shards)
+            )
+            rows.append(
+                {
+                    "population_scale": scale,
+                    "cells": cell_count(scale),
+                    "shards": shards,
+                    "wall_seconds": round(wall, 3),
+                    "sim_events": events,
+                    "events_per_second": round(events / wall, 1),
+                    "records": len(artifact.records),
+                    "legacy_wall_seconds": round(legacy_wall, 3),
+                    "legacy_events_per_second": round(
+                        legacy_events / legacy_wall, 1
+                    ),
+                }
+            )
+    path = _write_bench_json(
+        "shard_scaling",
+        {
+            "bench": "shard_scaling",
+            "days": DAYS,
+            "seed": SEED,
+            "host_cores": os.cpu_count() or 1,
+            "rows": rows,
+        },
+    )
+    print(f"\n[archived to {path}]")
+    for row in rows:
+        print(
+            f"scale={row['population_scale']:<5g} cells={row['cells']:<3d} "
+            f"shards={row['shards']} wall={row['wall_seconds']:7.2f}s "
+            f"eps={row['events_per_second']:9.1f} "
+            f"(legacy {row['legacy_wall_seconds']:.2f}s / "
+            f"{row['legacy_events_per_second']:.1f} eps)"
+        )
+
+    # The tier's acceptance bar: at >=10x the canonical population the
+    # sharded path sustains >=2x the coupled baseline's event throughput
+    # (measured ~10x; the margin absorbs host noise).
+    big = [r for r in rows if r["cells"] >= 10]
+    assert big, "sweep never reached the 10x population tier"
+    for row in big:
+        assert row["events_per_second"] >= 2.0 * row["legacy_events_per_second"], (
+            f"sharded throughput regressed: {row['events_per_second']:.0f} eps "
+            f"vs legacy {row['legacy_events_per_second']:.0f} eps"
+        )
+
+
+def test_wheel_is_equivalent_and_recorded():
+    """The timer wheel must never change results; its throughput effect is
+    recorded (it is roughly neutral at canonical heap sizes and exists for
+    timeout-dense configurations, so no speed assertion here)."""
+    import pickle
+
+    from repro.sim.engine import set_wheel_default
+    from repro.users.population import PopulationSpec
+    from repro.workloads.sharding import scoped_id_counters
+    from repro.workloads.synthetic import CampaignArtifact, ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(
+        days=3.0, seed=SEED, population=PopulationSpec(scale=0.05)
+    )
+    legs = {}
+    try:
+        for wheel in (False, True):
+            set_wheel_default(wheel)
+            with scoped_id_counters():
+                artifact, wall, events = _timed(
+                    lambda: CampaignArtifact.from_result(run_scenario(config))
+                )
+            legs[wheel] = (pickle.dumps(artifact), wall, events)
+    finally:
+        set_wheel_default(True)
+
+    assert legs[False][0] == legs[True][0], "wheel changed simulation bytes"
+    _write_bench_json(
+        "wheel_kernel",
+        {
+            "bench": "wheel_kernel",
+            "days": 3.0,
+            "seed": SEED,
+            "host_cores": os.cpu_count() or 1,
+            "wheel_off": {
+                "wall_seconds": round(legs[False][1], 3),
+                "events_per_second": round(legs[False][2] / legs[False][1], 1),
+            },
+            "wheel_on": {
+                "wall_seconds": round(legs[True][1], 3),
+                "events_per_second": round(legs[True][2] / legs[True][1], 1),
+            },
+        },
+    )

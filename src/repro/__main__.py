@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from datetime import datetime, timezone
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +63,11 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write a JSONL telemetry sidecar (wall-domain "
                              "spans/events/metrics; never changes report bytes)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="scale tier: simulate campaigns as population "
+                             "cells grouped into up to N stage-1 tasks, merged "
+                             "deterministically (default: whole-campaign runs; "
+                             "an execution knob — any N gives the same bytes)")
 
 
 def _build_runner(args, journal=None, resume_keys=(), run_id=None):
@@ -96,6 +102,7 @@ def _build_runner(args, journal=None, resume_keys=(), run_id=None):
         # Per-task sim tracing only when a sidecar was asked for explicitly:
         # the default path keeps the kernel's no-tracer fast path.
         trace_sim=getattr(args, "trace", None) is not None,
+        shards=getattr(args, "shards", None),
     )
 
 
@@ -199,9 +206,12 @@ def _latest_sidecar(args):
     )
     if not runs_dir.is_dir():
         return None
+    # Deterministic tie-break: mtime first, then the full path as a string
+    # (run-id lexicographic), so two sidecars written in the same second
+    # cannot flap between invocations.
     candidates = sorted(
         runs_dir.glob("*/telemetry.jsonl"),
-        key=lambda path: (path.stat().st_mtime, path),
+        key=lambda path: (path.stat().st_mtime, path.as_posix()),
     )
     return candidates[-1] if candidates else None
 
@@ -284,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
                                  help="override the program's horizon")
     scenario_parser.add_argument("--seed", type=int, default=None,
                                  help="override the program's seed")
+    scenario_parser.add_argument("--shards", type=int, default=None,
+                                 help="simulate via population cells merged "
+                                      "deterministically (default: the "
+                                      "program's own shards knob)")
 
     cache_parser = sub.add_parser(
         "cache",
@@ -324,6 +338,11 @@ def main(argv: list[str] | None = None) -> int:
                                 metavar="N",
                                 help="per-process span retention cap; "
                                      "aggregates are never capped")
+    profile_parser.add_argument("--json", default=None, metavar="FILE",
+                                dest="json_out",
+                                help="also write a machine-readable profile "
+                                     "(wall seconds, sim events, events/sec, "
+                                     "host cores) in the BENCH_<id>.json shape")
 
     stats_parser = sub.add_parser(
         "stats",
@@ -389,16 +408,30 @@ def main(argv: list[str] | None = None) -> int:
             print(exc, file=sys.stderr)
             return 2
         config = program.compile(seed=args.seed, days=args.days)
+        shards = args.shards if args.shards is not None else program.shards
+        if shards < 1:
+            print(f"--shards must be >= 1, got {shards}", file=sys.stderr)
+            return 2
         print(f"scenario: {program.name}")
         if program.description:
             print(f"  {program.description}")
         print(f"  days={config.days:g} seed={config.seed} "
               f"sites={len(config.sites) if config.sites else config.scale}")
-        result = run_scenario(config)
-        report = check_scenario(result)
-        print(f"  records={len(result.records)} "
-              f"nu={result.central.total_nu():.1f} "
-              f"outages={sum(len(i.outages) for i in result.injectors)}")
+        if shards > 1:
+            from repro.scenarios import check_merged_artifact
+            from repro.workloads.sharding import cell_count, run_scenario_sharded
+
+            artifact = run_scenario_sharded(config, shards=shards)
+            report = check_merged_artifact(artifact)
+            print(f"  cells={cell_count(config.population)} shards={shards}")
+            print(f"  records={len(artifact.records)} "
+                  f"nu={artifact.total_nu:.1f}")
+        else:
+            result = run_scenario(config)
+            report = check_scenario(result)
+            print(f"  records={len(result.records)} "
+                  f"nu={result.central.total_nu():.1f} "
+                  f"outages={sum(len(i.outages) for i in result.injectors)}")
         print("invariants:")
         for line in report.summary().splitlines():
             print(f"  {line}")
@@ -427,13 +460,39 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed is not None:
             knobs["seed"] = args.seed
         extra = {"span_cap": args.span_cap} if args.span_cap is not None else {}
+        profile_started = time.perf_counter()
         tracer = profile_experiment(experiment_id, knobs, **extra)
+        wall_seconds = time.perf_counter() - profile_started
         print(render_hot_path_table(tracer, top=args.top), end="")
         if args.chrome:
             path = write_chrome_trace(
                 chrome_trace_from_tracer(tracer), args.chrome
             )
             print(f"[chrome trace written to {path}]", file=sys.stderr)
+        if args.json_out:
+            import json
+            import os
+
+            payload = {
+                "bench": "profile",
+                "experiment": experiment_id,
+                "knobs": knobs,
+                "host_cores": os.cpu_count(),
+                "wall_seconds": round(wall_seconds, 3),
+                "sim_events": tracer.events_total,
+                "events_per_second": (
+                    round(tracer.events_total / wall_seconds, 1)
+                    if wall_seconds > 0 else None
+                ),
+                "heap_high_water": tracer.heap_high_water,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+            }
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"[profile json written to {args.json_out}]", file=sys.stderr)
         return 0
 
     if args.command == "stats":
@@ -624,7 +683,7 @@ def main(argv: list[str] | None = None) -> int:
         args.jobs is not None or args.no_cache or args.cache_dir is not None
         or args.task_timeout is not None or args.no_artifacts
         or args.artifacts_dir is not None or args.timings
-        or args.trace is not None
+        or args.trace is not None or args.shards is not None
     )
     try:
         if use_runner:

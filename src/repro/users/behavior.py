@@ -701,11 +701,22 @@ def start_behaviors(
     ctx: SimulationContext,
     population: Population,
     profiles: Optional[dict[Modality, BehaviorProfile]] = None,
+    member_indices: Optional[frozenset[int]] = None,
 ) -> int:
-    """Spawn one behaviour process per user; returns how many were started."""
+    """Spawn one behaviour process per user; returns how many were started.
+
+    ``member_indices`` restricts startup to the users at those ordinals in
+    ``population.users`` — the sharded scale tier builds the full population
+    in every cell (so gateways, accounts and per-user streams are identical
+    everywhere) but activates each user in exactly one cell.  The population
+    is laid out modality-block by modality-block, so a stride over ordinals
+    samples every modality in every cell.
+    """
     profiles = profiles or DEFAULT_PROFILES
     started = 0
-    for user in population.users:
+    for index, user in enumerate(population.users):
+        if member_indices is not None and index not in member_indices:
+            continue
         behavior = _BEHAVIORS[user.modality]
         ctx.sim.process(
             behavior(ctx, user, profiles[user.modality]),

@@ -46,7 +46,12 @@ from repro.users.behavior import (
     SimulationContext,
     start_behaviors,
 )
-from repro.users.population import Population, PopulationSpec, build_population
+from repro.users.population import (
+    Population,
+    PopulationSpec,
+    build_population,
+    cell_members,
+)
 from repro.users.profiles import BehaviorProfile
 from repro.workloads.scenarios import SiteSpec, federation_specs
 
@@ -103,6 +108,11 @@ class ScenarioConfig:
     #: recovery discipline against ``packet_faults`` (None = full defaults:
     #: retransmit with backoff + end-of-run reconciliation re-sends)
     ingest_recovery: Optional[IngestRecoveryPolicy] = None
+    #: population cell ``(cell, cells)`` of the sharded scale tier: the full
+    #: population is built identically in every cell, but only users whose
+    #: ordinal satisfies ``ordinal % cells == cell`` run behavior processes.
+    #: ``None`` (legacy) simulates everyone in one coupled run.
+    shard: Optional[tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         # Fail at construction with a nameable knob, not downstream with a
@@ -152,6 +162,16 @@ class ScenarioConfig:
                 f"ingest_recovery must be an IngestRecoveryPolicy, "
                 f"got {self.ingest_recovery!r}"
             )
+        if self.shard is not None:
+            cell, cells = self.shard
+            if not (
+                isinstance(cell, int) and isinstance(cells, int)
+                and cells >= 1 and 0 <= cell < cells
+            ):
+                raise ValueError(
+                    f"shard must be (cell, cells) with 0 <= cell < cells, "
+                    f"got {self.shard!r}"
+                )
 
     @property
     def horizon(self) -> float:
@@ -249,7 +269,17 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         config = replace(config, **overrides)
 
     sim = Simulator()
-    streams = RandomStreams(seed=config.seed)
+    if config.shard is not None:
+        # Scale tier: population cells draw through the vectorized
+        # pre-sampling facade.  Every cell of a campaign uses the same master
+        # seed, so the shared world (population, gateways, outages) is
+        # identical across cells and cell outputs are independent of how
+        # cells are grouped onto stage-1 tasks.
+        from repro.sim.rng import BufferedStreams
+
+        streams: RandomStreams = BufferedStreams(seed=config.seed)
+    else:
+        streams = RandomStreams(seed=config.seed)
     ledger = infra.AllocationLedger()
     central = CentralAccountingDB()
     network = infra.Network(sim)
@@ -357,7 +387,12 @@ def run_scenario(config: ScenarioConfig | None = None, **overrides) -> ScenarioR
         network=network,
         recovery=config.recovery,
     )
-    start_behaviors(ctx, population, profiles=config.profiles)
+    member_indices = None
+    if config.shard is not None:
+        member_indices = cell_members(population, *config.shard)
+    start_behaviors(
+        ctx, population, profiles=config.profiles, member_indices=member_indices
+    )
 
     sim.run(until=config.horizon)
     for provider in providers:

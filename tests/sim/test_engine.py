@@ -255,3 +255,114 @@ def test_events_fire_in_time_order(pairs):
     for i in range(1, len(fired)):
         if fired[i][0] == fired[i - 1][0]:
             assert fired[i][1] > fired[i - 1][1]
+
+
+# -- empty-heap peek ----------------------------------------------------------
+
+def test_peek_on_empty_heap_raises():
+    with pytest.raises(SimulationError, match="empty event heap"):
+        Simulator().peek()
+
+
+def test_peek_on_exhausted_heap_raises():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.peek()
+
+
+# -- the coalesced timer wheel ------------------------------------------------
+
+from repro.sim import WHEEL_TICK  # noqa: E402
+
+
+def _firing_order(wheel, delays):
+    """Run one workload and return the (time, tag) firing sequence."""
+    sim = Simulator(wheel=wheel)
+    fired = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        fired.append((sim.now, tag))
+
+    for tag, delay in enumerate(delays):
+        sim.process(waiter(sim, delay, tag))
+    sim.run()
+    return fired
+
+
+def test_wheel_buckets_far_timeouts():
+    sim = Simulator(wheel=True)
+    for _ in range(5):
+        sim.timeout(3.0 * WHEEL_TICK)
+    assert sim._wheel_count == 5
+    # One bucket -> one marker; logical count still sees all five.
+    assert len(sim._wheel) == 1
+    assert len(sim) == 5
+
+
+def test_wheel_disabled_keeps_plain_heap():
+    sim = Simulator(wheel=False)
+    for _ in range(5):
+        sim.timeout(3.0 * WHEEL_TICK)
+    assert sim._wheel_count == 0
+    assert len(sim) == 5
+
+
+def test_near_timeouts_bypass_the_wheel():
+    sim = Simulator(wheel=True)
+    sim.timeout(WHEEL_TICK)  # below the 2-tick coalescing floor
+    assert sim._wheel_count == 0
+
+
+def test_wheel_preserves_firing_order():
+    # Far timeouts (bucketed), near ones (plain heap), and exact ties that
+    # land in the same bucket: pop order must be byte-for-byte the no-wheel
+    # order, including FIFO among equal times.
+    delays = [
+        5.0 * WHEEL_TICK,
+        1.0,
+        5.0 * WHEEL_TICK,  # tie with tag 0 in the same bucket
+        2.5 * WHEEL_TICK,
+        0.0,
+        7.25 * WHEEL_TICK,
+        2.5 * WHEEL_TICK + 0.125,
+    ]
+    assert _firing_order(True, delays) == _firing_order(False, delays)
+
+
+def test_wheel_peek_settles_buckets():
+    sim = Simulator(wheel=True)
+    sim.timeout(2.0 * WHEEL_TICK)
+    # The marker sits at the bucket *start* (1800.0 here); peek must report
+    # the real event's time, not the marker's.
+    assert sim.peek() == 2.0 * WHEEL_TICK
+
+
+def test_wheel_run_until_horizon_between_marker_and_event():
+    sim = Simulator(wheel=True)
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(2.5 * WHEEL_TICK)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    # Horizon past the bucket start (2 ticks) but before the event (2.5).
+    sim.run(until=2.25 * WHEEL_TICK)
+    assert fired == []
+    assert sim.now == 2.25 * WHEEL_TICK
+    sim.run(until=3.0 * WHEEL_TICK)
+    assert fired == [2.5 * WHEEL_TICK]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30))
+def test_wheel_equivalence_over_random_delays(ticks):
+    """Property: wheel on/off produce identical firing sequences."""
+    delays = [t * WHEEL_TICK for t in ticks]
+    assert _firing_order(True, delays) == _firing_order(False, delays)
